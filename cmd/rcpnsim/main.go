@@ -1,0 +1,168 @@
+// Command rcpnsim runs an ARM7 program — a built-in benchmark kernel or an
+// assembly file — on one of the simulators in this repository and prints
+// the run's statistics.
+//
+// Usage:
+//
+//	rcpnsim [-sim strongarm|xscale|arm9|ssim|pipe5|func|iss] [-scale N]
+//	        [-trace N] [-util] [-emit] (-bench name | file.s)
+//
+// Examples:
+//
+//	rcpnsim -bench crc                  # RCPN StrongARM on the crc kernel
+//	rcpnsim -sim xscale -bench go       # RCPN XScale on the go kernel
+//	rcpnsim -sim iss prog.s             # functional golden model on a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/ssim"
+	"rcpn/internal/workload"
+)
+
+func main() {
+	sim := flag.String("sim", "strongarm", "simulator: strongarm, xscale, arm9, ssim, pipe5, func, iss")
+	bench := flag.String("bench", "", "built-in benchmark kernel (adpcm, blowfish, compress, crc, g721, go)")
+	scale := flag.Int("scale", 1, "benchmark scale factor")
+	emit := flag.Bool("emit", false, "print the program's emitted output words")
+	trace := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles (strongarm/xscale)")
+	util := flag.Bool("util", false, "print per-transition utilization (RCPN models)")
+	flag.Parse()
+
+	var (
+		p   *arm.Program
+		err error
+	)
+	switch {
+	case *bench != "":
+		w := workload.ByName(*bench)
+		if w == nil {
+			fail(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		p, err = w.Program(*scale)
+	case flag.NArg() == 1:
+		src, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fail(rerr)
+		}
+		p, err = arm.Assemble(string(src), 0x8000)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	start := time.Now()
+	var (
+		cycles   int64
+		instret  uint64
+		output   []uint32
+		text     []byte
+		exitCode uint32
+		extra    func()
+	)
+	switch *sim {
+	case "strongarm", "xscale", "arm9":
+		var m *machine.Machine
+		switch *sim {
+		case "strongarm":
+			m = machine.NewStrongARM(p, machine.Config{})
+		case "xscale":
+			m = machine.NewXScale(p, machine.Config{})
+		default:
+			if m, err = machine.NewARM9(p, machine.Config{}); err != nil {
+				fail(err)
+			}
+		}
+		if *trace > 0 {
+			m.AttachTracer(os.Stdout, *trace)
+		}
+		err = m.Run(0)
+		cycles, instret = m.Net.CycleCount(), m.Instret
+		output, text, exitCode = m.Output, m.Text, m.ExitCode
+		extra = func() {
+			if *util {
+				fmt.Print(m.UtilizationReport())
+			}
+			fmt.Printf("flushes:        %d\n", m.Flushes)
+			fmt.Printf("icache:         %.2f%% hit (%d accesses)\n",
+				100*m.ICache.Stats.HitRatio(), m.ICache.Stats.Accesses())
+			fmt.Printf("dcache:         %.2f%% hit (%d accesses)\n",
+				100*m.DCache.Stats.HitRatio(), m.DCache.Stats.Accesses())
+			fmt.Printf("branch pred:    %.2f%% (%d lookups)\n",
+				100*m.Pred.Stats().Accuracy(), m.Pred.Stats().Lookups)
+			for _, pl := range m.Net.Places() {
+				if pl.Stalls > 0 {
+					fmt.Printf("stalls at %-4s  %d\n", pl.Name+":", pl.Stalls)
+				}
+			}
+		}
+	case "ssim":
+		s := ssim.New(p, ssim.Config{})
+		err = s.Run(0)
+		cycles, instret = s.Cycles, s.Instret
+		output, text, exitCode = s.Output(), s.Text(), s.ExitCode()
+		extra = func() { fmt.Printf("recoveries:     %d\n", s.Flushes) }
+	case "pipe5":
+		s := pipe5.New(p, pipe5.Config{})
+		err = s.Run(0)
+		cycles, instret = s.Cycles, s.Instret
+		output, text, exitCode = s.Output, s.Text, s.ExitCode
+	case "func":
+		m := machine.NewFunctional(p, machine.Config{})
+		err = m.RunFunctional(0)
+		cycles, instret = 0, m.Instret
+		output, text, exitCode = m.Output, m.Text, m.ExitCode
+	case "iss":
+		c := iss.New(p, 0)
+		c.MaxInstrs = 1 << 34
+		err = c.Run()
+		cycles, instret = 0, c.Instret
+		output, text, exitCode = c.Output, c.Text, c.Exit
+	default:
+		fail(fmt.Errorf("unknown simulator %q", *sim))
+	}
+	wall := time.Since(start)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("simulator:      %s\n", *sim)
+	fmt.Printf("instructions:   %d\n", instret)
+	if cycles > 0 {
+		fmt.Printf("cycles:         %d\n", cycles)
+		fmt.Printf("CPI:            %.3f\n", float64(cycles)/float64(instret))
+		fmt.Printf("sim speed:      %.2f Mcycles/s\n", float64(cycles)/wall.Seconds()/1e6)
+	} else {
+		fmt.Printf("sim speed:      %.2f Minstr/s\n", float64(instret)/wall.Seconds()/1e6)
+	}
+	fmt.Printf("exit code:      %d\n", exitCode)
+	if extra != nil {
+		extra()
+	}
+	if len(text) > 0 {
+		fmt.Printf("text output:    %q\n", text)
+	}
+	if *emit {
+		for i, w := range output {
+			fmt.Printf("output[%d] = %#x (%d)\n", i, w, w)
+		}
+	} else if len(output) > 0 {
+		fmt.Printf("output words:   %d (run with -emit to print)\n", len(output))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rcpnsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "Generic Pipelined
+// Processor Modeling and High Performance Cycle-Accurate Simulator
+// Generation" (Reshadi & Dutt, DATE 2005) — the RCPN (Reduced Colored Petri
+// Net) processor-modeling formalism and the optimized cycle-accurate
+// simulation engine generated from it.
+//
+// The root package carries the benchmark harness (bench_test.go) that
+// regenerates the paper's Figure 10 (simulation performance) and Figure 11
+// (CPI) plus the engine-optimization ablations; the implementation lives
+// under internal/ (see DESIGN.md for the full inventory):
+//
+//	internal/core      RCPN model + simulation engine (§3, §4)
+//	internal/reg       three-level register / RegRef data-hazard structure (Fig. 3)
+//	internal/arm       ARM7 ISA: decode, semantics, assembler, disassembler
+//	internal/iss       functional golden-model simulator
+//	internal/mem       memory, caches
+//	internal/bpred     branch predictors
+//	internal/machine   RCPN-generated StrongARM and XScale simulators (§5)
+//	internal/ssim      SimpleScalar(sim-outorder)-style baseline
+//	internal/pipe5     hand-written direct five-stage simulator
+//	internal/cpn       standard CPN, RCPN→CPN conversion, analyses (§3)
+//	internal/workload  the six benchmark kernels of the evaluation
+//	internal/stats     measurement collection and figure-style tables
+package rcpn

@@ -1,0 +1,71 @@
+package rcpn
+
+// Integration tests that run every example program end to end. The examples
+// assert their own architected results internally (they panic on wrong
+// values), so a clean exit is a real correctness signal, not just "it
+// compiled".
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, dir string, wantOutput ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	cmd.Dir = "."
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("example %s timed out", dir)
+	}
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	for _, want := range wantOutput {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("example %s output missing %q\n%s", dir, want, out)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "quickstart",
+		"5 instructions retired in 6 cycles",
+		"digraph RCPN")
+}
+
+func TestExampleOutoforder(t *testing.T) {
+	runExample(t, "outoforder",
+		"two-list places (auto-detected from the feedback arc): L3",
+		"feedback-path issue count (Dfwd fires): 2",
+		"mem[28]=22")
+}
+
+func TestExampleTomasulo(t *testing.T) {
+	runExample(t, "tomasulo",
+		"renaming check passed")
+}
+
+func TestExampleVliw(t *testing.T) {
+	runExample(t, "vliw",
+		"operations per cycle")
+}
+
+func TestExampleXscale(t *testing.T) {
+	runExample(t, "xscale",
+		"adpcm", "go", "Mcycles/s")
+}

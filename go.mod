@@ -1,0 +1,3 @@
+module rcpn
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package arm implements the ARMv4 (ARM7) instruction-set substrate used by
+// the RCPN processor models: binary encodings, a decoder into the six
+// operation classes of the paper, shared execution semantics (barrel shifter,
+// ALU with NZCV flags, addressing modes), a disassembler, and a two-pass
+// assembler so workloads can be written as ARM assembly text.
+//
+// The subset covers what arm-linux-gcc emits for integer code at the ARM7
+// level: all data-processing instructions with the full barrel shifter,
+// MUL/MLA, LDR/STR (word and byte, all addressing modes), LDM/STM, B/BL and
+// SWI, with the full 15-entry condition field on everything.
+package arm
+
+import "fmt"
+
+// Reg is an ARM register number r0..r15. r13 is SP, r14 is LR, r15 is PC.
+type Reg uint8
+
+// Named registers.
+const (
+	SP Reg = 13
+	LR Reg = 14
+	PC Reg = 15
+)
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Cond is the 4-bit condition field present on every ARM instruction.
+type Cond uint8
+
+// Condition codes.
+const (
+	EQ Cond = iota // Z set
+	NE             // Z clear
+	CS             // C set
+	CC             // C clear
+	MI             // N set
+	PL             // N clear
+	VS             // V set
+	VC             // V clear
+	HI             // C set and Z clear
+	LS             // C clear or Z set
+	GE             // N == V
+	LT             // N != V
+	GT             // Z clear and N == V
+	LE             // Z set or N != V
+	AL             // always
+	NV             // never (reserved)
+)
+
+var condNames = [16]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "", "nv",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Passes reports whether the condition holds for the given NZCV flags.
+func (c Cond) Passes(n, z, cf, v bool) bool {
+	switch c {
+	case EQ:
+		return z
+	case NE:
+		return !z
+	case CS:
+		return cf
+	case CC:
+		return !cf
+	case MI:
+		return n
+	case PL:
+		return !n
+	case VS:
+		return v
+	case VC:
+		return !v
+	case HI:
+		return cf && !z
+	case LS:
+		return !cf || z
+	case GE:
+		return n == v
+	case LT:
+		return n != v
+	case GT:
+		return !z && n == v
+	case LE:
+		return z || n != v
+	case AL:
+		return true
+	default: // NV
+		return false
+	}
+}
+
+// Class is the operation class of an instruction. The paper implements the
+// ARM instruction set with six operation classes (§5); instructions in a
+// class share a binary format, a decode scheme and an RCPN sub-net.
+type Class uint8
+
+// The six operation classes.
+const (
+	ClassDataProc   Class = iota // data processing incl. compares and moves
+	ClassMult                    // MUL / MLA
+	ClassLoadStore               // LDR / STR (word, byte)
+	ClassLoadStoreM              // LDM / STM (block transfer)
+	ClassBranch                  // B / BL
+	ClassSystem                  // SWI
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"DataProc", "Mult", "LoadStore", "LoadStoreM", "Branch", "System",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// DPOp is the 4-bit data-processing opcode.
+type DPOp uint8
+
+// Data-processing opcodes.
+const (
+	OpAND DPOp = iota
+	OpEOR
+	OpSUB
+	OpRSB
+	OpADD
+	OpADC
+	OpSBC
+	OpRSC
+	OpTST
+	OpTEQ
+	OpCMP
+	OpCMN
+	OpORR
+	OpMOV
+	OpBIC
+	OpMVN
+)
+
+var dpNames = [16]string{
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+	"tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+}
+
+func (op DPOp) String() string { return dpNames[op&15] }
+
+// WritesRd reports whether the opcode writes a destination register
+// (TST/TEQ/CMP/CMN only set flags).
+func (op DPOp) WritesRd() bool { return op < OpTST || op > OpCMN }
+
+// UsesRn reports whether the opcode reads the first operand register
+// (MOV and MVN ignore Rn).
+func (op DPOp) UsesRn() bool { return op != OpMOV && op != OpMVN }
+
+// Shift is a barrel-shifter operation type.
+type Shift uint8
+
+// Shift types. ROR with a zero immediate amount encodes RRX.
+const (
+	LSL Shift = iota
+	LSR
+	ASR
+	ROR
+)
+
+var shiftNames = [4]string{"lsl", "lsr", "asr", "ror"}
+
+func (s Shift) String() string { return shiftNames[s&3] }
+
+// Syscall numbers used in the SWI immediate field. The paper's benchmarks
+// "use very few simple system calls (mainly for IO) that should be translated
+// into host operating system calls in the simulator"; ours are the same idea.
+const (
+	SysExit = 0 // terminate; r0 = exit code
+	SysEmit = 1 // append the word in r0 to the program's output stream
+	SysPutc = 2 // append the low byte of r0 to the program's text output
+)
+
+// Instr is a fully decoded instruction: the token payload of the paper's
+// instruction tokens. Decoding happens once, when the token is generated,
+// and the decoded form is carried (and cached) with the token so no pipeline
+// stage ever re-decodes (§5, third speedup reason).
+type Instr struct {
+	Raw  uint32 // original instruction word
+	Addr uint32 // address the word was fetched from
+
+	Cond  Cond
+	Class Class
+
+	// Data processing / multiply.
+	Op       DPOp
+	SetFlags bool
+	Rn       Reg // first operand (DP), base (LDR/STR/LDM/STM), accumulator (MLA)
+	Rd       Reg // destination (DP/LDR/STR), Rd of MUL/MLA
+	Rm       Reg // register operand 2 / multiplicand / offset register
+	Rs       Reg // shift-amount register / multiplier
+
+	Imm      uint32 // rotated DP immediate, or load/store offset
+	HasImm   bool   // operand2/offset is an immediate
+	ShiftTyp Shift
+	ShiftAmt uint8 // immediate shift amount (0..31)
+	ShiftReg bool  // shift amount comes from Rs
+	Accum    bool  // MLA / UMLAL / SMLAL (accumulate)
+
+	// Long multiply (UMULL/UMLAL/SMULL/SMLAL): Rd is RdHi, Rn is RdLo.
+	Long      bool
+	SignedMul bool
+
+	// Load/store and block transfer.
+	Load       bool
+	Byte       bool
+	Half       bool // halfword transfer (LDRH/STRH/LDRSH)
+	SignedLoad bool // sign-extending load (LDRSB/LDRSH)
+	PreIndex   bool
+	Up         bool
+	Writeback  bool
+	RegList    uint16 // LDM/STM register mask
+
+	// Branch.
+	Link   bool
+	BrOff  int32 // word offset, sign-extended, relative to Addr+8
+	SWINum uint32
+}
+
+// Target returns the branch destination address.
+func (i *Instr) Target() uint32 {
+	return i.Addr + 8 + uint32(i.BrOff)*4
+}
+
+// IsCompare reports whether a data-processing instruction only sets flags.
+func (i *Instr) IsCompare() bool {
+	return i.Class == ClassDataProc && !i.Op.WritesRd()
+}
+
+// WritesPC reports whether the instruction can redirect control flow by
+// writing r15 (branches always do; data processing and loads may).
+func (i *Instr) WritesPC() bool {
+	switch i.Class {
+	case ClassBranch:
+		return true
+	case ClassDataProc:
+		return i.Op.WritesRd() && i.Rd == PC
+	case ClassLoadStore:
+		return i.Load && i.Rd == PC
+	case ClassLoadStoreM:
+		return i.Load && i.RegList&(1<<PC) != 0
+	}
+	return false
+}
+
+// RegListCount returns the number of registers in an LDM/STM mask.
+func RegListCount(mask uint16) int {
+	n := 0
+	for m := mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,336 @@
+package arm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: a flat little-endian image to be
+// loaded at Base, plus the resolved symbol table.
+type Program struct {
+	Base    uint32
+	Entry   uint32
+	Bytes   []byte
+	Symbols map[string]uint32
+}
+
+// Words returns the image as instruction words (the image is padded to a
+// multiple of 4 by the assembler).
+func (p *Program) Words() []uint32 {
+	out := make([]uint32, len(p.Bytes)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p.Bytes[4*i:])
+	}
+	return out
+}
+
+// AsmError reports an assembly failure with its source line.
+type AsmError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *AsmError) Error() string {
+	return fmt.Sprintf("asm: line %d (%q): %v", e.Line, strings.TrimSpace(e.Text), e.Err)
+}
+
+func (e *AsmError) Unwrap() error { return e.Err }
+
+// Assemble translates ARM assembly text into a Program loaded at base.
+// The syntax is classic ARM: one instruction or directive per line, labels
+// ending in ':', comments beginning with ';', '@' or "//". Supported
+// directives: .word, .byte, .space, .align, .ltorg (and .text/.data/.global,
+// which are accepted and ignored). "ldr rd, =expr" literal-pool loads are
+// supported; the pool is flushed at .ltorg directives and at the end.
+// If a label "_start" exists it becomes the entry point, otherwise base.
+func Assemble(src string, base uint32) (*Program, error) {
+	a := &assembler{base: base, symbols: map[string]uint32{}}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: sizes and label addresses.
+	if err := a.scan(lines); err != nil {
+		return nil, err
+	}
+	// Pass 2: encoding.
+	if err := a.emit(lines); err != nil {
+		return nil, err
+	}
+
+	entry := base
+	if e, ok := a.symbols["_start"]; ok {
+		entry = e
+	}
+	return &Program{Base: base, Entry: entry, Bytes: a.out, Symbols: a.symbols}, nil
+}
+
+// litFixup records an "ldr rd, =expr" whose pc-relative offset can only be
+// filled in when the literal pool is flushed.
+type litFixup struct {
+	outPos    int    // byte offset of the ldr word in out
+	instrAddr uint32 // address of the ldr
+	expr      string
+}
+
+type assembler struct {
+	base    uint32
+	pc      uint32
+	out     []byte
+	symbols map[string]uint32
+
+	pass     int
+	fixups   []litFixup     // pending literal loads awaiting a pool
+	litIdx   map[string]int // dedupe within one pending pool
+	poolSize uint32         // pass-1 accumulated size of pending pool
+}
+
+func splitComment(l string) string {
+	for i := 0; i < len(l); i++ {
+		switch l[i] {
+		case ';', '@':
+			return l[:i]
+		case '/':
+			if i+1 < len(l) && l[i+1] == '/' {
+				return l[:i]
+			}
+		}
+	}
+	return l
+}
+
+// scan is pass 1: compute label addresses by sizing every line.
+func (a *assembler) scan(lines []string) error {
+	a.pass = 1
+	a.pc = a.base
+	a.poolSize = 0
+	a.litIdx = map[string]int{}
+	for ln, raw := range lines {
+		line := strings.TrimSpace(splitComment(raw))
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 || strings.ContainsAny(line[:i], " \t[") {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if name == "" {
+				return &AsmError{ln + 1, raw, fmt.Errorf("empty label")}
+			}
+			if _, dup := a.symbols[name]; dup {
+				return &AsmError{ln + 1, raw, fmt.Errorf("duplicate label %q", name)}
+			}
+			a.symbols[name] = a.pc
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		n, err := a.sizeOf(line)
+		if err != nil {
+			return &AsmError{ln + 1, raw, err}
+		}
+		a.pc += n
+	}
+	// Implicit .ltorg at end.
+	a.pc = align4(a.pc)
+	a.pc += a.poolSize
+	return nil
+}
+
+func align4(v uint32) uint32 { return (v + 3) &^ 3 }
+
+// sizeOf returns the size in bytes a source line occupies.
+func (a *assembler) sizeOf(line string) (uint32, error) {
+	mn, rest := splitMnemonic(line)
+	switch mn {
+	case ".word":
+		return 4 * uint32(len(splitOperands(rest))), nil
+	case ".byte":
+		return uint32(len(splitOperands(rest))), nil
+	case ".asciz":
+		s, err := parseStringLit(rest)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(len(s) + 1), nil
+	case ".space":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf(".space size: %v", err)
+		}
+		return uint32(n), nil
+	case ".align":
+		return align4(a.pc) - a.pc, nil
+	case ".ltorg":
+		n := align4(a.pc) - a.pc + a.poolSize
+		a.poolSize = 0
+		a.litIdx = map[string]int{}
+		return n, nil
+	case ".text", ".data", ".global", ".globl", ".code":
+		return 0, nil
+	}
+	if strings.HasPrefix(mn, ".") {
+		return 0, fmt.Errorf("unknown directive %s", mn)
+	}
+	// Instruction. "ldr rd, =expr" also reserves a pool slot.
+	if (strings.HasPrefix(mn, "ldr") || mn == "ldr") && strings.Contains(rest, "=") {
+		ops := splitOperands(rest)
+		if len(ops) == 2 && strings.HasPrefix(strings.TrimSpace(ops[1]), "=") {
+			expr := strings.TrimSpace(ops[1])[1:]
+			if _, ok := a.litIdx[expr]; !ok {
+				a.litIdx[expr] = 1
+				a.poolSize += 4
+			}
+		}
+	}
+	return 4, nil
+}
+
+// emit is pass 2: encode every line into a.out.
+func (a *assembler) emit(lines []string) error {
+	a.pass = 2
+	a.pc = a.base
+	a.out = a.out[:0]
+	a.fixups = nil
+	a.litIdx = map[string]int{}
+	for ln, raw := range lines {
+		line := strings.TrimSpace(splitComment(raw))
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 || strings.ContainsAny(line[:i], " \t[") {
+				break
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.emitLine(line); err != nil {
+			return &AsmError{ln + 1, raw, err}
+		}
+	}
+	if err := a.flushPool(); err != nil {
+		return err
+	}
+	// Pad to word size for Words().
+	for len(a.out)%4 != 0 {
+		a.emitByte(0)
+	}
+	return nil
+}
+
+func (a *assembler) emitByte(b byte) {
+	a.out = append(a.out, b)
+	a.pc++
+}
+
+func (a *assembler) emitWord(w uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w)
+	a.out = append(a.out, b[:]...)
+	a.pc += 4
+}
+
+// flushPool lays out the pending literal pool at the current pc, then
+// patches every recorded "ldr rd, =expr" with its pc-relative offset.
+func (a *assembler) flushPool() error {
+	if len(a.fixups) == 0 {
+		return nil
+	}
+	for a.pc%4 != 0 {
+		a.emitByte(0)
+	}
+	slot := map[string]uint32{}
+	for _, f := range a.fixups {
+		if _, ok := slot[f.expr]; ok {
+			continue
+		}
+		v, err := a.eval(f.expr)
+		if err != nil {
+			return err
+		}
+		slot[f.expr] = a.pc
+		a.emitWord(v)
+	}
+	for _, f := range a.fixups {
+		diff := int64(slot[f.expr]) - int64(f.instrAddr) - 8
+		up := true
+		if diff < 0 {
+			up, diff = false, -diff
+		}
+		if diff > 0xfff {
+			return fmt.Errorf("literal pool for %q out of range (%d bytes)", f.expr, diff)
+		}
+		w := binary.LittleEndian.Uint32(a.out[f.outPos:])
+		w |= uint32(diff) & 0xfff
+		if up {
+			w |= 1 << 23
+		}
+		binary.LittleEndian.PutUint32(a.out[f.outPos:], w)
+	}
+	a.fixups = nil
+	a.litIdx = map[string]int{}
+	return nil
+}
+
+func (a *assembler) emitLine(line string) error {
+	mn, rest := splitMnemonic(line)
+	switch mn {
+	case ".word":
+		for _, op := range splitOperands(rest) {
+			v, err := a.eval(op)
+			if err != nil {
+				return err
+			}
+			a.emitWord(v)
+		}
+		return nil
+	case ".byte":
+		for _, op := range splitOperands(rest) {
+			v, err := a.eval(op)
+			if err != nil {
+				return err
+			}
+			a.emitByte(byte(v))
+		}
+		return nil
+	case ".asciz":
+		s, err := parseStringLit(rest)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < len(s); i++ {
+			a.emitByte(s[i])
+		}
+		a.emitByte(0)
+		return nil
+	case ".space":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil {
+			return err
+		}
+		for i := uint32(0); i < uint32(n); i++ {
+			a.emitByte(0)
+		}
+		return nil
+	case ".align":
+		for a.pc%4 != 0 {
+			a.emitByte(0)
+		}
+		return nil
+	case ".ltorg":
+		return a.flushPool()
+	case ".text", ".data", ".global", ".globl", ".code":
+		return nil
+	}
+	if strings.HasPrefix(mn, ".") {
+		return fmt.Errorf("unknown directive %s", mn)
+	}
+	w, err := a.encodeInstr(mn, rest)
+	if err != nil {
+		return err
+	}
+	a.emitWord(w)
+	return nil
+}

@@ -1,0 +1,164 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a decoded instruction in UAL-like syntax. It is the
+// inverse of the assembler for the supported subset and is used by the
+// tracing facilities and the round-trip property tests.
+func Disassemble(i *Instr) string {
+	c := i.Cond.String()
+	switch i.Class {
+	case ClassDataProc:
+		s := ""
+		if i.SetFlags && i.Op.WritesRd() {
+			s = "s"
+		}
+		op2 := disasmOp2(i)
+		switch {
+		case i.IsCompare():
+			return fmt.Sprintf("%s%s %s, %s", i.Op, c, i.Rn, op2)
+		case !i.Op.UsesRn():
+			return fmt.Sprintf("%s%s%s %s, %s", i.Op, c, s, i.Rd, op2)
+		default:
+			return fmt.Sprintf("%s%s%s %s, %s, %s", i.Op, c, s, i.Rd, i.Rn, op2)
+		}
+	case ClassMult:
+		s := ""
+		if i.SetFlags {
+			s = "s"
+		}
+		if i.Long {
+			mn := "umull"
+			switch {
+			case i.SignedMul && i.Accum:
+				mn = "smlal"
+			case i.SignedMul:
+				mn = "smull"
+			case i.Accum:
+				mn = "umlal"
+			}
+			// Rn is RdLo, Rd is RdHi.
+			return fmt.Sprintf("%s%s%s %s, %s, %s, %s", mn, c, s, i.Rn, i.Rd, i.Rm, i.Rs)
+		}
+		if i.Accum {
+			return fmt.Sprintf("mla%s%s %s, %s, %s, %s", c, s, i.Rd, i.Rm, i.Rs, i.Rn)
+		}
+		return fmt.Sprintf("mul%s%s %s, %s, %s", c, s, i.Rd, i.Rm, i.Rs)
+	case ClassLoadStore:
+		mn := "str"
+		if i.Load {
+			mn = "ldr"
+		}
+		sfx := ""
+		switch {
+		case i.Half && i.SignedLoad:
+			sfx = "sh"
+		case i.Half:
+			sfx = "h"
+		case i.Byte && i.SignedLoad:
+			sfx = "sb"
+		case i.Byte:
+			sfx = "b"
+		}
+		return fmt.Sprintf("%s%s%s %s, %s", mn, c, sfx, i.Rd, disasmMem(i))
+	case ClassLoadStoreM:
+		mn := "stm"
+		if i.Load {
+			mn = "ldm"
+		}
+		mode := map[[2]bool]string{
+			{true, false}: "ia", {true, true}: "ib",
+			{false, false}: "da", {false, true}: "db",
+		}[[2]bool{i.Up, i.PreIndex}]
+		wb := ""
+		if i.Writeback {
+			wb = "!"
+		}
+		return fmt.Sprintf("%s%s%s %s%s, {%s}", mn, mode, c, i.Rn, wb, disasmRegList(i.RegList))
+	case ClassBranch:
+		l := ""
+		if i.Link {
+			l = "l"
+		}
+		return fmt.Sprintf("b%s%s %#x", l, c, i.Target())
+	default:
+		if i.Undefined() {
+			return fmt.Sprintf(".word %#08x ; undefined", i.Raw)
+		}
+		return fmt.Sprintf("swi%s %#x", c, i.SWINum)
+	}
+}
+
+func disasmOp2(i *Instr) string {
+	if i.HasImm {
+		return fmt.Sprintf("#%d", int32(i.Imm))
+	}
+	if i.ShiftReg {
+		return fmt.Sprintf("%s, %s %s", i.Rm, i.ShiftTyp, i.Rs)
+	}
+	if i.ShiftAmt == 0 && i.ShiftTyp == LSL {
+		return i.Rm.String()
+	}
+	if i.ShiftAmt == 0 && i.ShiftTyp == ROR {
+		return fmt.Sprintf("%s, rrx", i.Rm)
+	}
+	amt := uint32(i.ShiftAmt)
+	if amt == 0 && (i.ShiftTyp == LSR || i.ShiftTyp == ASR) {
+		amt = 32
+	}
+	return fmt.Sprintf("%s, %s #%d", i.Rm, i.ShiftTyp, amt)
+}
+
+func disasmMem(i *Instr) string {
+	var off string
+	if i.HasImm {
+		if i.Imm == 0 && i.PreIndex && !i.Writeback {
+			return fmt.Sprintf("[%s]", i.Rn)
+		}
+		sign := ""
+		if !i.Up {
+			sign = "-"
+		}
+		off = fmt.Sprintf("#%s%d", sign, i.Imm)
+	} else {
+		sign := ""
+		if !i.Up {
+			sign = "-"
+		}
+		off = fmt.Sprintf("%s%s", sign, i.Rm)
+		if i.ShiftAmt != 0 || i.ShiftTyp != LSL {
+			off += fmt.Sprintf(", %s #%d", i.ShiftTyp, i.ShiftAmt)
+		}
+	}
+	if i.PreIndex {
+		wb := ""
+		if i.Writeback {
+			wb = "!"
+		}
+		return fmt.Sprintf("[%s, %s]%s", i.Rn, off, wb)
+	}
+	return fmt.Sprintf("[%s], %s", i.Rn, off)
+}
+
+func disasmRegList(mask uint16) string {
+	var parts []string
+	for r := 0; r < 16; {
+		if mask&(1<<r) == 0 {
+			r++
+			continue
+		}
+		start := r
+		for r < 16 && mask&(1<<r) != 0 {
+			r++
+		}
+		if r-start > 1 {
+			parts = append(parts, fmt.Sprintf("%s-%s", Reg(start), Reg(r-1)))
+		} else {
+			parts = append(parts, Reg(start).String())
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,229 @@
+package arm
+
+import "fmt"
+
+// Operand2 describes the flexible second operand of a data-processing
+// instruction or the offset of a load/store, before encoding.
+type Operand2 struct {
+	Imm      uint32 // immediate value (HasImm)
+	HasImm   bool
+	Rm       Reg
+	ShiftTyp Shift
+	ShiftAmt uint8 // immediate shift amount
+	ShiftReg bool  // shift amount in Rs
+	Rs       Reg
+}
+
+// ImmOp returns an immediate flexible operand.
+func ImmOp(v uint32) Operand2 { return Operand2{Imm: v, HasImm: true} }
+
+// RegOp returns a plain register flexible operand.
+func RegOp(r Reg) Operand2 { return Operand2{Rm: r} }
+
+// ShiftedOp returns a register operand shifted by an immediate amount.
+func ShiftedOp(r Reg, t Shift, amt uint8) Operand2 {
+	return Operand2{Rm: r, ShiftTyp: t, ShiftAmt: amt}
+}
+
+// EncodeImm encodes v as an ARM rotated 8-bit immediate. ok is false when v
+// is not representable.
+func EncodeImm(v uint32) (enc uint32, ok bool) {
+	for rot := uint32(0); rot < 32; rot += 2 {
+		r := v<<rot | v>>(32-rot)
+		if rot == 0 {
+			r = v
+		}
+		if r <= 0xff {
+			return rot/2<<8 | r, true
+		}
+	}
+	return 0, false
+}
+
+func encOp2(op2 Operand2) (uint32, error) {
+	if op2.HasImm {
+		enc, ok := EncodeImm(op2.Imm)
+		if !ok {
+			return 0, fmt.Errorf("arm: immediate %#x not encodable", op2.Imm)
+		}
+		return 1<<25 | enc, nil
+	}
+	w := uint32(op2.Rm) | uint32(op2.ShiftTyp)<<5
+	if op2.ShiftReg {
+		w |= 1<<4 | uint32(op2.Rs)<<8
+	} else {
+		w |= uint32(op2.ShiftAmt&31) << 7
+	}
+	return w, nil
+}
+
+// EncodeDP encodes a data-processing instruction.
+func EncodeDP(cond Cond, op DPOp, s bool, rd, rn Reg, op2 Operand2) (uint32, error) {
+	w := uint32(cond)<<28 | uint32(op)<<21 | uint32(rn)<<16 | uint32(rd)<<12
+	if s {
+		w |= 1 << 20
+	}
+	o, err := encOp2(op2)
+	if err != nil {
+		return 0, err
+	}
+	return w | o, nil
+}
+
+// EncodeMul encodes MUL (accum=false) or MLA (accum=true).
+// MUL rd, rm, rs; MLA rd, rm, rs, rn.
+func EncodeMul(cond Cond, s, accum bool, rd, rm, rs, rn Reg) uint32 {
+	w := uint32(cond)<<28 | 9<<4 | uint32(rd)<<16 | uint32(rn)<<12 |
+		uint32(rs)<<8 | uint32(rm)
+	if accum {
+		w |= 1 << 21
+	}
+	if s {
+		w |= 1 << 20
+	}
+	return w
+}
+
+// EncodeMulLong encodes UMULL/UMLAL/SMULL/SMLAL:
+// {rdHi,rdLo} = rm * rs (+ {rdHi,rdLo}).
+func EncodeMulLong(cond Cond, signed, accum, s bool, rdHi, rdLo, rm, rs Reg) uint32 {
+	w := uint32(cond)<<28 | 1<<23 | 9<<4 |
+		uint32(rdHi)<<16 | uint32(rdLo)<<12 | uint32(rs)<<8 | uint32(rm)
+	if signed {
+		w |= 1 << 22
+	}
+	if accum {
+		w |= 1 << 21
+	}
+	if s {
+		w |= 1 << 20
+	}
+	return w
+}
+
+// EncodeHS encodes the halfword / signed transfers (LDRH/STRH/LDRSB/LDRSH).
+// For stores only the unsigned halfword form exists.
+func EncodeHS(cond Cond, load, signed, half bool, rd Reg, m MemMode) (uint32, error) {
+	var sh uint32
+	switch {
+	case half && !signed:
+		sh = 1
+	case !half && signed:
+		sh = 2
+	case half && signed:
+		sh = 3
+	default:
+		return 0, fmt.Errorf("arm: invalid halfword/signed transfer form")
+	}
+	if !load && sh != 1 {
+		return 0, fmt.Errorf("arm: signed stores do not exist")
+	}
+	w := uint32(cond)<<28 | 1<<7 | sh<<5 | 1<<4 |
+		uint32(m.Rn)<<16 | uint32(rd)<<12
+	if load {
+		w |= 1 << 20
+	}
+	if m.Up {
+		w |= 1 << 23
+	}
+	if m.PreIndex {
+		w |= 1 << 24
+	}
+	if m.Writeback {
+		w |= 1 << 21
+	}
+	if m.Off.HasImm {
+		if m.Off.Imm > 0xff {
+			return 0, fmt.Errorf("arm: halfword offset %#x exceeds 8 bits", m.Off.Imm)
+		}
+		w |= 1<<22 | m.Off.Imm&0x0f | m.Off.Imm<<4&0xf00
+	} else {
+		if m.Off.ShiftAmt != 0 || m.Off.ShiftTyp != LSL || m.Off.ShiftReg {
+			return 0, fmt.Errorf("arm: halfword transfers take plain register offsets only")
+		}
+		w |= uint32(m.Off.Rm)
+	}
+	return w, nil
+}
+
+// MemMode describes a load/store addressing mode.
+type MemMode struct {
+	Rn        Reg
+	Off       Operand2 // immediate (<=4095) or (scaled) register
+	Up        bool     // add offset (default true when built by the assembler)
+	PreIndex  bool
+	Writeback bool
+}
+
+// EncodeLS encodes LDR/STR (load=true/false), optionally byte-sized.
+func EncodeLS(cond Cond, load, byteSz bool, rd Reg, m MemMode) (uint32, error) {
+	w := uint32(cond)<<28 | 1<<26 | uint32(m.Rn)<<16 | uint32(rd)<<12
+	if load {
+		w |= 1 << 20
+	}
+	if byteSz {
+		w |= 1 << 22
+	}
+	if m.Up {
+		w |= 1 << 23
+	}
+	if m.PreIndex {
+		w |= 1 << 24
+	}
+	if m.Writeback {
+		w |= 1 << 21
+	}
+	if m.Off.HasImm {
+		if m.Off.Imm > 0xfff {
+			return 0, fmt.Errorf("arm: load/store offset %#x exceeds 12 bits", m.Off.Imm)
+		}
+		w |= m.Off.Imm
+	} else {
+		if m.Off.ShiftReg {
+			return 0, fmt.Errorf("arm: register-shifted load/store offset not supported")
+		}
+		w |= 1<<25 | uint32(m.Off.Rm) | uint32(m.Off.ShiftTyp)<<5 |
+			uint32(m.Off.ShiftAmt&31)<<7
+	}
+	return w, nil
+}
+
+// EncodeLSM encodes LDM/STM. pre/up select the IA/IB/DA/DB variant.
+func EncodeLSM(cond Cond, load, pre, up, writeback bool, rn Reg, list uint16) uint32 {
+	w := uint32(cond)<<28 | 1<<27 | uint32(rn)<<16 | uint32(list)
+	if load {
+		w |= 1 << 20
+	}
+	if pre {
+		w |= 1 << 24
+	}
+	if up {
+		w |= 1 << 23
+	}
+	if writeback {
+		w |= 1 << 21
+	}
+	return w
+}
+
+// EncodeBranch encodes B/BL from instruction address to target.
+func EncodeBranch(cond Cond, link bool, addr, target uint32) (uint32, error) {
+	diff := int64(target) - int64(addr) - 8
+	if diff&3 != 0 {
+		return 0, fmt.Errorf("arm: branch target %#x not word aligned", target)
+	}
+	off := diff >> 2
+	if off < -(1<<23) || off >= 1<<23 {
+		return 0, fmt.Errorf("arm: branch from %#x to %#x out of range", addr, target)
+	}
+	w := uint32(cond)<<28 | 5<<25 | uint32(off)&0x00ffffff
+	if link {
+		w |= 1 << 24
+	}
+	return w, nil
+}
+
+// EncodeSWI encodes a software interrupt with a 24-bit comment field.
+func EncodeSWI(cond Cond, num uint32) uint32 {
+	return uint32(cond)<<28 | 0xf<<24 | num&0x00ffffff
+}

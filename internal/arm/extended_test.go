@@ -1,0 +1,155 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeHalfwordForms(t *testing.T) {
+	cases := []struct {
+		src                string
+		load, half, signed bool
+	}{
+		{"ldrh r1, [r2, #6]", true, true, false},
+		{"strh r1, [r2], #2", false, true, false},
+		{"ldrsb r1, [r2, r3]", true, false, true},
+		{"ldrsh r1, [r2, #-4]!", true, true, true},
+	}
+	for _, c := range cases {
+		ins := asmOne(t, c.src)
+		if ins.Class != ClassLoadStore {
+			t.Fatalf("%s: class %v", c.src, ins.Class)
+		}
+		if ins.Load != c.load || ins.Half != c.half || ins.SignedLoad != c.signed {
+			t.Errorf("%s: load=%v half=%v signed=%v", c.src, ins.Load, ins.Half, ins.SignedLoad)
+		}
+	}
+	// Field checks on one form.
+	ins := asmOne(t, "ldrh r1, [r2, #0xf3]")
+	if !ins.HasImm || ins.Imm != 0xf3 || ins.Rn != 2 || ins.Rd != 1 || !ins.PreIndex || !ins.Up {
+		t.Fatalf("ldrh imm: %+v", ins)
+	}
+	ins = asmOne(t, "ldrsh r4, [r5, r6]")
+	if ins.HasImm || ins.Rm != 6 {
+		t.Fatalf("ldrsh reg: %+v", ins)
+	}
+}
+
+func TestHalfwordEncodeLimits(t *testing.T) {
+	if _, err := Assemble("ldrh r0, [r1, #256]\n", 0); err == nil {
+		t.Error("halfword offset > 255 must be rejected")
+	}
+	if _, err := Assemble("ldrh r0, [r1, r2, lsl #2]\n", 0); err == nil {
+		t.Error("shifted halfword offsets must be rejected")
+	}
+	if _, err := EncodeHS(AL, false, true, false, 0, MemMode{Rn: 1, Off: ImmOp(0), Up: true, PreIndex: true}); err == nil {
+		t.Error("signed store must be rejected")
+	}
+}
+
+func TestDecodeLongMultiply(t *testing.T) {
+	cases := []struct {
+		src            string
+		signed, accum  bool
+		lo, hi, rm, rs Reg
+	}{
+		{"umull r1, r2, r3, r4", false, false, 1, 2, 3, 4},
+		{"umlal r1, r2, r3, r4", false, true, 1, 2, 3, 4},
+		{"smull r5, r6, r7, r8", true, false, 5, 6, 7, 8},
+		{"smlals r5, r6, r7, r8", true, true, 5, 6, 7, 8},
+	}
+	for _, c := range cases {
+		ins := asmOne(t, c.src)
+		if ins.Class != ClassMult || !ins.Long {
+			t.Fatalf("%s: not a long multiply: %+v", c.src, ins)
+		}
+		if ins.SignedMul != c.signed || ins.Accum != c.accum ||
+			ins.Rn != c.lo || ins.Rd != c.hi || ins.Rm != c.rm || ins.Rs != c.rs {
+			t.Errorf("%s: decoded %+v", c.src, ins)
+		}
+	}
+	if !asmOne(t, "smlals r5, r6, r7, r8").SetFlags {
+		t.Error("smlals must set flags")
+	}
+}
+
+func TestLongMultiplyDoesNotAliasMul(t *testing.T) {
+	mul := asmOne(t, "mul r1, r2, r3")
+	if mul.Long {
+		t.Fatal("MUL decoded as long")
+	}
+	um := asmOne(t, "umull r1, r2, r3, r4")
+	if !um.Long {
+		t.Fatal("UMULL decoded as short")
+	}
+}
+
+func TestMulLongExecSemantics(t *testing.T) {
+	// Unsigned: 0xffffffff * 0xffffffff = 0xfffffffe_00000001.
+	lo, hi, f := MulLongExec(false, false, 0xffffffff, 0xffffffff, 0, 0, Flags{})
+	if lo != 0x00000001 || hi != 0xfffffffe {
+		t.Fatalf("umull: %#x %#x", hi, lo)
+	}
+	if !f.N || f.Z {
+		t.Fatalf("umull flags: %+v", f)
+	}
+	// Signed: -1 * -1 = 1.
+	lo, hi, f = MulLongExec(true, false, 0xffffffff, 0xffffffff, 0, 0, Flags{})
+	if lo != 1 || hi != 0 {
+		t.Fatalf("smull: %#x %#x", hi, lo)
+	}
+	if f.N || f.Z {
+		t.Fatalf("smull flags: %+v", f)
+	}
+	// Accumulate: 2*3 + 0x1_00000005 = 0x1_0000000b.
+	lo, hi, _ = MulLongExec(false, true, 2, 3, 5, 1, Flags{})
+	if lo != 11 || hi != 1 {
+		t.Fatalf("umlal: %#x %#x", hi, lo)
+	}
+	// Zero result sets Z.
+	_, _, f = MulLongExec(true, false, 0, 12345, 0, 0, Flags{})
+	if !f.Z || f.N {
+		t.Fatalf("zero flags: %+v", f)
+	}
+}
+
+// Property: MulLongExec agrees with native 64-bit arithmetic.
+func TestMulLongExecProperty(t *testing.T) {
+	err := quick.Check(func(a, b, accLo, accHi uint32, signed, accum bool) bool {
+		lo, hi, _ := MulLongExec(signed, accum, a, b, accLo, accHi, Flags{})
+		var want uint64
+		if signed {
+			want = uint64(int64(int32(a)) * int64(int32(b)))
+		} else {
+			want = uint64(a) * uint64(b)
+		}
+		if accum {
+			want += uint64(accHi)<<32 | uint64(accLo)
+		}
+		return lo == uint32(want) && hi == uint32(want>>32)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedDisassembleRoundTrip(t *testing.T) {
+	lines := []string{
+		"ldrh r1, [r2, #6]",
+		"strh r3, [r4], #-2",
+		"ldrsb r5, [r6, r7]!",
+		"ldrsh r0, [r1, #-8]",
+		"umull r1, r2, r3, r4",
+		"umlals r1, r2, r3, r4",
+		"smullne r5, r6, r7, r8",
+		"smlal r5, r6, r7, r8",
+	}
+	for _, line := range lines {
+		ins := asmOne(t, line)
+		dis := Disassemble(ins)
+		ins2 := asmOne(t, dis)
+		if ins2.Raw != ins.Raw {
+			t.Errorf("round trip %q -> %q: %08x != %08x", line, dis, ins.Raw, ins2.Raw)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package bpred implements the branch predictors referenced by the RCPN
+// models. A transition in the instruction-independent sub-net "can directly
+// reference non-pipeline units such as branch predictor, memory, cache etc."
+// (paper §3); these are those units for control flow.
+package bpred
+
+// Predictor is the interface the fetch transitions use. Predict is consulted
+// at fetch time; Update is called by the branch sub-net at resolution.
+type Predictor interface {
+	// Predict returns whether the branch at pc is predicted taken and, if a
+	// target is known (BTB hit), that target.
+	Predict(pc uint32) (taken bool, target uint32, targetKnown bool)
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint32, taken bool, target uint32)
+	// Stats returns prediction statistics.
+	Stats() Stats
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Lookups uint64
+	Correct uint64
+}
+
+// Accuracy returns the fraction of correct predictions (1 with no lookups).
+func (s Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return float64(s.Correct) / float64(s.Lookups)
+}
+
+// NotTaken always predicts not-taken (the simplest static predictor; also
+// the configuration used to approximate "simplest parameter values" baseline
+// runs).
+type NotTaken struct{ s Stats }
+
+// NewNotTaken returns a static not-taken predictor.
+func NewNotTaken() *NotTaken { return &NotTaken{} }
+
+// Predict implements Predictor.
+func (p *NotTaken) Predict(pc uint32) (bool, uint32, bool) {
+	p.s.Lookups++
+	return false, 0, false
+}
+
+// Update implements Predictor.
+func (p *NotTaken) Update(pc uint32, taken bool, target uint32) {
+	if !taken {
+		p.s.Correct++
+	}
+}
+
+// Stats implements Predictor.
+func (p *NotTaken) Stats() Stats { return p.s }
+
+// Bimodal is a classic 2-bit saturating-counter predictor with a
+// direct-mapped branch target buffer.
+type Bimodal struct {
+	mask    uint32
+	counter []uint8 // 2-bit counters, predict taken when >= 2
+	btbTag  []uint32
+	btbTgt  []uint32
+	s       Stats
+}
+
+// NewBimodal returns a bimodal predictor with the given table size
+// (rounded up to a power of two, minimum 16).
+func NewBimodal(entries int) *Bimodal {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	p := &Bimodal{
+		mask:    uint32(n - 1),
+		counter: make([]uint8, n),
+		btbTag:  make([]uint32, n),
+		btbTgt:  make([]uint32, n),
+	}
+	for i := range p.counter {
+		p.counter[i] = 1 // weakly not-taken
+		p.btbTag[i] = ^uint32(0)
+	}
+	return p
+}
+
+func (p *Bimodal) index(pc uint32) uint32 { return (pc >> 2) & p.mask }
+
+// Predict implements Predictor.
+func (p *Bimodal) Predict(pc uint32) (bool, uint32, bool) {
+	p.s.Lookups++
+	i := p.index(pc)
+	taken := p.counter[i] >= 2
+	if !taken {
+		return false, 0, false
+	}
+	if p.btbTag[i] == pc {
+		return true, p.btbTgt[i], true
+	}
+	// Predicted taken but no target known: the fetch unit must stall or
+	// fall through; report no target.
+	return true, 0, false
+}
+
+// Update implements Predictor.
+func (p *Bimodal) Update(pc uint32, taken bool, target uint32) {
+	i := p.index(pc)
+	predTaken := p.counter[i] >= 2
+	correct := predTaken == taken &&
+		(!taken || (p.btbTag[i] == pc && p.btbTgt[i] == target))
+	if correct {
+		p.s.Correct++
+	}
+	if taken {
+		if p.counter[i] < 3 {
+			p.counter[i]++
+		}
+		p.btbTag[i] = pc
+		p.btbTgt[i] = target
+	} else if p.counter[i] > 0 {
+		p.counter[i]--
+	}
+}
+
+// Stats implements Predictor.
+func (p *Bimodal) Stats() Stats { return p.s }

@@ -1,0 +1,319 @@
+// Package core implements RCPN — the Reduced Colored Petri Net of the paper —
+// and the high-performance cycle-accurate simulation engine generated from it.
+//
+// An RCPN redefines CPN concepts for pipelined-processor modeling (§3):
+//
+//   - A Stage is a pipeline storage element (latch, reservation station) with
+//     finite capacity; the virtual "end" stage has unlimited capacity.
+//   - A Place is an instruction state bound to a stage. Places sharing a
+//     stage share its capacity; a place's tokens are stored in its stage.
+//   - A Transition is the work performed when an instruction changes state.
+//     It is enabled when its guard holds, required tokens are present AND
+//     the stages of its output places have spare capacity — the redefinition
+//     that eliminates CPN's back-edge capacity loops.
+//   - Arcs carry priorities: the output transitions of a place are tried in
+//     priority order and the first enabled one fires (deterministic choice,
+//     e.g. bypass path preferred over register-file read).
+//   - Tokens are reservation tokens (no data; occupancy only, kept as
+//     per-place counters) or instruction tokens (decoded instructions).
+//   - Delays on places, transitions and tokens model multi-cycle units and
+//     data-dependent latencies; a token delay overrides the delay of the
+//     place the token moves into.
+//
+// The engine implements the paper's §4 optimizations: a static
+// sorted-transitions table per (place, instruction class) computed before
+// simulation (Fig. 6), per-place token processing (Fig. 7), and a main loop
+// that evaluates places in reverse topological order so that only places
+// queried through feedback paths need the two-list (master/slave) algorithm
+// (Fig. 8).
+package core
+
+import "fmt"
+
+// ClassID identifies an instruction's operation class; each class has its
+// own sub-net. AnyClass marks transitions belonging to the instruction-
+// independent sub-net, which apply to tokens of every class.
+type ClassID int
+
+// AnyClass marks instruction-independent transitions (e.g. a shared decode
+// stage) that accept tokens of every class.
+const AnyClass ClassID = -1
+
+// Stage is a pipeline storage element with a capacity shared by all places
+// assigned to it.
+type Stage struct {
+	Name      string
+	Capacity  int // <= 0 means unlimited (the virtual end stage)
+	occupancy int // live instruction + reservation tokens
+	id        int
+}
+
+// Unlimited reports whether the stage has no capacity bound.
+func (s *Stage) Unlimited() bool { return s.Capacity <= 0 }
+
+// Free returns how many more tokens the stage accepts this cycle.
+func (s *Stage) Free() int {
+	if s.Unlimited() {
+		return 1 << 30
+	}
+	return s.Capacity - s.occupancy
+}
+
+// Occupancy returns the number of tokens currently held (including staged
+// arrivals of two-list places and reservation tokens).
+func (s *Stage) Occupancy() int { return s.occupancy }
+
+// Place is an instruction state assigned to a pipeline stage.
+type Place struct {
+	Name  string
+	Stage *Stage
+	// Delay is the default residency delay: how many cycles a token must sit
+	// in this place before its output transitions may consider it. Places
+	// are created with Delay 1 (one pipeline stage per cycle).
+	Delay int64
+	// TwoList marks the place as using the two-list (master/slave latch)
+	// algorithm: arrivals stay invisible until the start of the next cycle.
+	// Build sets it automatically for places read through feedback paths;
+	// models may also set it explicitly.
+	TwoList bool
+	// End marks the virtual final state: tokens reaching it retire.
+	End bool
+
+	id     int
+	net    *Net
+	tokens []*Token        // visible tokens
+	staged []*Token        // arrivals pending promotion (TwoList only)
+	out    [][]*Transition // per-class sorted transition lists (compiled)
+
+	reservations int // visible reservation tokens
+
+	// Stalls counts token-cycles in which a resident instruction token had
+	// no enabled output transition.
+	Stalls uint64
+}
+
+// ID returns the place's dense index, usable as a reg.StateQuerier state.
+func (p *Place) ID() int { return p.id }
+
+// Tokens returns the currently visible instruction tokens (oldest first).
+// The returned slice is owned by the place; callers must not mutate it.
+func (p *Place) Tokens() []*Token { return p.tokens }
+
+// ForEachToken visits every instruction token held by the place, including
+// arrivals still staged in a two-list buffer (pipeline-flush support).
+func (p *Place) ForEachToken(f func(*Token)) {
+	for _, t := range p.tokens {
+		f(t)
+	}
+	for _, t := range p.staged {
+		f(t)
+	}
+}
+
+// Reservations returns the visible reservation-token count.
+func (p *Place) Reservations() int { return p.reservations }
+
+// Transition is the functionality executed when an instruction moves between
+// two places (or is produced, for source transitions of the instruction-
+// independent sub-net).
+type Transition struct {
+	Name  string
+	Class ClassID
+	From  *Place // nil for source transitions
+	To    *Place // nil only if the action always re-routes (not supported; required)
+	// Priority orders the output arcs of From: lower fires first.
+	Priority int
+	// Delay is the execution delay of the transition's functionality, added
+	// to the residency delay of the destination place.
+	Delay int64
+	// Guard is the arc guard condition; nil means always true. Guards must
+	// be side-effect free.
+	Guard func(tok *Token) bool
+	// Action is the transition function, run when the transition fires.
+	Action func(tok *Token)
+	// ResIn lists places from which one reservation token is consumed per
+	// firing (dotted input arcs).
+	ResIn []*Place
+	// ResOut lists places into which one reservation token is produced per
+	// firing (dotted output arcs).
+	ResOut []*Place
+	// Reads lists places whose token state the guard or action inspects
+	// through feedback queries (e.g. RegRef.CanReadIn(state)). Build uses
+	// these arcs to decide which places need the two-list algorithm.
+	Reads []*Place
+
+	// Fires counts how many times the transition fired.
+	Fires uint64
+
+	id int
+	// Compiled fast-path facts (set by Build).
+	needCap bool   // firing consumes destination-stage capacity
+	capOf   *Stage // the stage whose capacity is consumed
+	hasRes  bool   // transition has reservation arcs
+}
+
+// Token is an RCPN token. Instruction tokens carry the decoded instruction
+// in Data; reservation tokens are not Token values (they are per-place
+// counters, since they carry no data — §4).
+type Token struct {
+	Class ClassID
+	// Data is the decoded-instruction payload, opaque to the engine.
+	Data any
+	// Delay, when set non-zero by a transition, overrides the residency
+	// delay of the next place this token enters, then resets — the paper's
+	// "t.delay = mem.delay(addr)" idiom for data-dependent latencies.
+	Delay int64
+
+	place   *Place
+	readyAt int64 // first cycle output transitions may consider the token
+	movedAt int64 // cycle of last firing (one move per cycle)
+	staged  bool  // sitting in a two-list staging buffer
+}
+
+// Place returns the token's current place (nil after retirement or before
+// injection).
+func (t *Token) Place() *Place { return t.place }
+
+// InState reports whether the token currently resides, visibly, in the place
+// with the given ID. Tokens staged in a two-list place are not yet visible —
+// this is exactly the beginning-of-cycle semantics feedback queries need.
+// It implements reg.StateQuerier.
+func (t *Token) InState(state int) bool {
+	return t.place != nil && t.place.id == state && !t.staged
+}
+
+// Ready reports whether the token's residency delay has elapsed.
+func (t *Token) Ready(now int64) bool { return t.readyAt <= now }
+
+// Net is an RCPN model plus its compiled simulation structures.
+type Net struct {
+	stages      []*Stage
+	places      []*Place
+	transitions []*Transition
+	sources     []*Source
+
+	// sorted[placeID][classID+1] is the paper's sorted_transitions table
+	// (Fig. 6): the output transitions of a place that an instruction token
+	// of a class can take, in arc-priority order. Index 0 would be AnyClass
+	// alone, but AnyClass transitions are merged into every class's list.
+	sorted [][][]*Transition
+
+	order        []*Place // reverse topological evaluation order
+	twoList      []*Place
+	numClasses   int
+	cycle        int64
+	built        bool
+	retire       func(tok *Token)
+	RetiredCount uint64
+
+	// dynamicSearch disables the static sorted_transitions table and makes
+	// the engine search all transitions for every token each cycle, the way
+	// a generic Petri-net simulator must. It exists only to quantify the
+	// Fig. 6 optimization in the ablation benchmarks.
+	dynamicSearch bool
+	dynScratch    []*Transition
+}
+
+// SetDynamicSearch toggles the ablation mode in which enabled transitions
+// are located by scanning and sorting the full transition list per token per
+// cycle instead of via the precomputed sorted_transitions table.
+func (n *Net) SetDynamicSearch(on bool) { n.dynamicSearch = on }
+
+// Source is a transition of the instruction-independent sub-net that
+// generates instruction tokens (the fetch unit). It is enabled when its
+// guard holds and the destination stage has capacity; Fire returns the new
+// token, or nil to generate nothing this cycle.
+type Source struct {
+	Name  string
+	To    *Place
+	Guard func() bool
+	Fire  func() *Token
+	// Fires counts generated tokens.
+	Fires uint64
+	// Stalls counts cycles the source was blocked by capacity or guard.
+	Stalls uint64
+}
+
+// NewNet creates an empty RCPN model with the given number of instruction
+// classes (ClassIDs 0..numClasses-1).
+func NewNet(numClasses int) *Net {
+	if numClasses < 1 {
+		panic("core: need at least one instruction class")
+	}
+	return &Net{numClasses: numClasses}
+}
+
+// NumClasses returns the number of instruction classes.
+func (n *Net) NumClasses() int { return n.numClasses }
+
+// Cycle returns the current cycle number.
+func (n *Net) CycleCount() int64 { return n.cycle }
+
+// Stage adds a pipeline stage with the given capacity (<=0 = unlimited).
+func (n *Net) Stage(name string, capacity int) *Stage {
+	s := &Stage{Name: name, Capacity: capacity, id: len(n.stages)}
+	n.stages = append(n.stages, s)
+	return s
+}
+
+// Place adds a place assigned to stage, with the default residency delay of
+// one cycle.
+func (n *Net) Place(name string, stage *Stage) *Place {
+	if stage == nil {
+		panic("core: place " + name + " needs a stage")
+	}
+	p := &Place{Name: name, Stage: stage, Delay: 1, id: len(n.places), net: n}
+	n.places = append(n.places, p)
+	return p
+}
+
+// EndPlace adds the virtual final place: an unlimited-capacity stage whose
+// arriving tokens retire immediately.
+func (n *Net) EndPlace(name string) *Place {
+	p := n.Place(name, n.Stage(name+".stage", 0))
+	p.End = true
+	p.Delay = 0
+	return p
+}
+
+// AddTransition registers t and returns it.
+func (n *Net) AddTransition(t *Transition) *Transition {
+	if t.To == nil {
+		panic("core: transition " + t.Name + " needs a destination place")
+	}
+	if t.Class < AnyClass || int(t.Class) >= n.numClasses {
+		panic(fmt.Sprintf("core: transition %s: bad class %d", t.Name, t.Class))
+	}
+	t.id = len(n.transitions)
+	n.transitions = append(n.transitions, t)
+	return t
+}
+
+// AddSource registers a token-generating source transition.
+func (n *Net) AddSource(s *Source) *Source {
+	if s.To == nil {
+		panic("core: source " + s.Name + " needs a destination place")
+	}
+	n.sources = append(n.sources, s)
+	return s
+}
+
+// OnRetire installs the callback invoked when an instruction token reaches
+// an end place (after the arriving transition's action ran).
+func (n *Net) OnRetire(f func(tok *Token)) { n.retire = f }
+
+// Places returns all places in creation order.
+func (n *Net) Places() []*Place { return n.places }
+
+// Transitions returns all transitions in creation order.
+func (n *Net) Transitions() []*Transition { return n.transitions }
+
+// Sources returns all source transitions in creation order.
+func (n *Net) Sources() []*Source { return n.sources }
+
+// Order returns the compiled place evaluation order (after Build).
+func (n *Net) Order() []*Place { return n.order }
+
+// TwoListPlaces returns the places using the two-list algorithm (after
+// Build).
+func (n *Net) TwoListPlaces() []*Place { return n.twoList }

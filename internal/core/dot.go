@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the RCPN as a Graphviz digraph, grouping each instruction
+// class's sub-net in a cluster — the "mirror image of the processor pipeline
+// block diagram" view of Fig. 5. classNames maps ClassID to a label; the
+// instruction-independent sub-net (sources and AnyClass transitions) forms
+// its own cluster.
+func (n *Net) Dot(classNames []string) string {
+	var b strings.Builder
+	b.WriteString("digraph RCPN {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+
+	// Places: one node per place; two-list places double-circled.
+	for _, p := range n.places {
+		shape := "circle"
+		if p.TwoList {
+			shape = "doublecircle"
+		}
+		style := ""
+		if p.End {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  p%d [label=%q, shape=%s%s];\n", p.id, p.Name, shape, style)
+	}
+
+	className := func(c ClassID) string {
+		if c == AnyClass {
+			return "Instruction Independent"
+		}
+		if int(c) < len(classNames) {
+			return classNames[c]
+		}
+		return fmt.Sprintf("class%d", c)
+	}
+
+	// Group transitions by class into clusters.
+	byClass := map[ClassID][]*Transition{}
+	for _, t := range n.transitions {
+		byClass[t.Class] = append(byClass[t.Class], t)
+	}
+	classes := make([]ClassID, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  subgraph cluster_c%d {\n    label=%q;\n", c+1, className(c))
+		for _, t := range byClass[c] {
+			fmt.Fprintf(&b, "    t%d [label=%q, shape=box];\n", t.id, t.Name)
+		}
+		b.WriteString("  }\n")
+	}
+	if len(n.sources) > 0 {
+		b.WriteString("  subgraph cluster_src {\n    label=\"Instruction Independent (sources)\";\n")
+		for i, s := range n.sources {
+			fmt.Fprintf(&b, "    s%d [label=%q, shape=box, style=bold];\n", i, s.Name)
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Arcs. Solid: instruction-token flow (labelled with arc priority when
+	// nonzero); dotted: reservation-token arcs; dashed grey: feedback reads.
+	for _, t := range n.transitions {
+		if t.From != nil {
+			lbl := ""
+			if t.Priority != 0 {
+				lbl = fmt.Sprintf(" [label=\"%d\"]", t.Priority)
+			}
+			fmt.Fprintf(&b, "  p%d -> t%d%s;\n", t.From.id, t.id, lbl)
+		}
+		fmt.Fprintf(&b, "  t%d -> p%d;\n", t.id, t.To.id)
+		for _, r := range t.ResIn {
+			fmt.Fprintf(&b, "  p%d -> t%d [style=dotted];\n", r.id, t.id)
+		}
+		for _, r := range t.ResOut {
+			fmt.Fprintf(&b, "  t%d -> p%d [style=dotted];\n", t.id, r.id)
+		}
+		for _, r := range t.Reads {
+			fmt.Fprintf(&b, "  p%d -> t%d [style=dashed, color=gray];\n", r.id, t.id)
+		}
+	}
+	for i, s := range n.sources {
+		fmt.Fprintf(&b, "  s%d -> p%d;\n", i, s.To.id)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package core
+
+import "fmt"
+
+// Step advances the model by one clock cycle (the loop body of Fig. 8):
+//
+//	mark written tokens as readable in the two-list places;
+//	process every place in reverse topological order;
+//	execute the instruction-independent (token-generating) sub-net;
+//	increment the cycle count.
+func (n *Net) Step() {
+	if !n.built {
+		panic("core: Step before Build")
+	}
+	for _, p := range n.twoList {
+		p.promote()
+	}
+	for _, p := range n.order {
+		n.process(p)
+	}
+	for _, s := range n.sources {
+		n.fireSource(s)
+	}
+	n.cycle++
+}
+
+// Run steps until stop returns true or maxCycles elapses (0 = unlimited);
+// it returns the number of cycles executed and an error on cycle overrun.
+func (n *Net) Run(stop func() bool, maxCycles int64) (int64, error) {
+	start := n.cycle
+	for !stop() {
+		if maxCycles > 0 && n.cycle-start >= maxCycles {
+			return n.cycle - start, fmt.Errorf("core: cycle limit %d exceeded", maxCycles)
+		}
+		n.Step()
+	}
+	return n.cycle - start, nil
+}
+
+// promote makes staged arrivals of a two-list place visible.
+func (p *Place) promote() {
+	if len(p.staged) == 0 {
+		return
+	}
+	for _, tok := range p.staged {
+		tok.staged = false
+	}
+	p.tokens = append(p.tokens, p.staged...)
+	p.staged = p.staged[:0]
+}
+
+// process implements Fig. 7: for every ready instruction token in the place,
+// in arrival order, try the statically sorted transitions for its class and
+// fire the first enabled one.
+func (n *Net) process(p *Place) {
+	if p.End {
+		return
+	}
+	for i := 0; i < len(p.tokens); {
+		tok := p.tokens[i]
+		if tok.movedAt == n.cycle || !tok.Ready(n.cycle) {
+			i++
+			continue
+		}
+		fired := false
+		cand := p.out[tok.Class]
+		if n.dynamicSearch {
+			cand = n.candidates(p, tok)
+		}
+		for _, t := range cand {
+			if n.enabled(t, tok) {
+				n.fire(t, tok, i)
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			p.Stalls++
+			i++
+		}
+		// On fire the token was removed from index i; the next token is now
+		// at i, so i stays put.
+	}
+}
+
+// candidates returns the transitions to try for tok at p in priority order:
+// the precomputed sorted_transitions list normally, or — in the ablation's
+// dynamic-search mode — a per-call scan and sort over all transitions, the
+// overhead a generic Petri-net simulator pays every cycle.
+func (n *Net) candidates(p *Place, tok *Token) []*Transition {
+	if !n.dynamicSearch {
+		return n.sorted[p.id][tok.Class]
+	}
+	cand := n.dynScratch[:0]
+	for _, t := range n.transitions {
+		if t.From == p && (t.Class == AnyClass || t.Class == tok.Class) {
+			cand = append(cand, t)
+		}
+	}
+	// Insertion sort by priority (stable, small lists).
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && cand[j].Priority < cand[j-1].Priority; j-- {
+			cand[j], cand[j-1] = cand[j-1], cand[j]
+		}
+	}
+	n.dynScratch = cand
+	return cand
+}
+
+// enabled checks a transition against one candidate token: output-stage
+// capacity (including reservation-token outputs), reservation-token inputs,
+// then the guard.
+func (n *Net) enabled(t *Transition, tok *Token) bool {
+	if t.needCap && t.capOf.occupancy >= t.capOf.Capacity {
+		return false
+	}
+	if t.hasRes {
+		for _, r := range t.ResIn {
+			if r.reservations < 1 {
+				return false
+			}
+		}
+		for _, r := range t.ResOut {
+			// A reservation output to the same stage the token is leaving
+			// can reuse the freed slot; otherwise it needs spare capacity.
+			need := 1
+			if t.From != nil && r.Stage == t.From.Stage {
+				need = 0
+			}
+			if r.Stage.Free() < need {
+				return false
+			}
+		}
+	}
+	if t.Guard != nil && !t.Guard(tok) {
+		return false
+	}
+	return true
+}
+
+// fire executes the transition for tok, currently at index idx of t.From:
+// remove the token from its input place, consume reservation inputs, run the
+// action, emit reservation outputs, and deliver the token to the output
+// place (or retire it at an end place).
+func (n *Net) fire(t *Transition, tok *Token, idx int) {
+	from := t.From
+	copy(from.tokens[idx:], from.tokens[idx+1:])
+	from.tokens = from.tokens[:len(from.tokens)-1]
+	from.Stage.occupancy--
+	tok.place = nil
+
+	for _, r := range t.ResIn {
+		r.reservations--
+		r.Stage.occupancy--
+	}
+
+	if t.Action != nil {
+		t.Action(tok)
+	}
+	t.Fires++
+
+	for _, r := range t.ResOut {
+		r.reservations++
+		r.Stage.occupancy++
+	}
+
+	tok.movedAt = n.cycle
+	if t.To.End {
+		n.RetiredCount++
+		if n.retire != nil {
+			n.retire(tok)
+		}
+		return
+	}
+	n.deliver(tok, t.To, t.Delay)
+}
+
+// deliver places tok into p, computing its residency delay: the token delay
+// (if set) overrides the place delay; the transition delay adds.
+func (n *Net) deliver(tok *Token, p *Place, transDelay int64) {
+	d := p.Delay
+	if tok.Delay > 0 {
+		d = tok.Delay
+		tok.Delay = 0
+	}
+	d += transDelay
+	if d < 1 {
+		d = 1
+	}
+	tok.readyAt = n.cycle + d
+	tok.place = p
+	p.Stage.occupancy++
+	if p.TwoList {
+		tok.staged = true
+		p.staged = append(p.staged, tok)
+	} else {
+		p.tokens = append(p.tokens, tok)
+	}
+}
+
+// fireSource runs one instruction-independent source transition.
+func (n *Net) fireSource(s *Source) {
+	if !s.To.End && s.To.Stage.Free() < 1 {
+		s.Stalls++
+		return
+	}
+	if s.Guard != nil && !s.Guard() {
+		s.Stalls++
+		return
+	}
+	tok := s.Fire()
+	if tok == nil {
+		return
+	}
+	if tok.Class < 0 || int(tok.Class) >= n.numClasses {
+		panic(fmt.Sprintf("core: source %s produced token with bad class %d", s.Name, tok.Class))
+	}
+	s.Fires++
+	tok.movedAt = n.cycle
+	n.deliver(tok, s.To, 0)
+}
+
+// Inject adds a token produced inside a transition action (micro-operation
+// generation: "any sub-net can generate an instruction token and send it to
+// its corresponding sub-net"). It reports false, without side effects, when
+// the destination stage is full; actions should guard the capacity via the
+// transition's Guard or retry next cycle.
+func (n *Net) Inject(tok *Token, p *Place) bool {
+	if !p.End && p.Stage.Free() < 1 {
+		return false
+	}
+	if p.End {
+		n.RetiredCount++
+		if n.retire != nil {
+			n.retire(tok)
+		}
+		return true
+	}
+	tok.movedAt = n.cycle
+	n.deliver(tok, p, 0)
+	return true
+}
+
+// RemoveToken squashes a token wherever it currently is (pipeline flush on
+// a mispredicted branch). It reports whether the token was found.
+func (n *Net) RemoveToken(tok *Token) bool {
+	p := tok.place
+	if p == nil {
+		return false
+	}
+	lists := [][]*Token{p.tokens, p.staged}
+	for li, list := range lists {
+		for i, t := range list {
+			if t != tok {
+				continue
+			}
+			copy(list[i:], list[i+1:])
+			if li == 0 {
+				p.tokens = p.tokens[:len(p.tokens)-1]
+			} else {
+				p.staged = p.staged[:len(p.staged)-1]
+			}
+			p.Stage.occupancy--
+			tok.place = nil
+			tok.staged = false
+			return true
+		}
+	}
+	return false
+}
+
+// DrainReservations removes all reservation tokens from a place (flush
+// support).
+func (p *Place) DrainReservations() {
+	p.Stage.occupancy -= p.reservations
+	p.reservations = 0
+}
+
+// NewToken returns a fresh instruction token of the given class and payload.
+func NewToken(class ClassID, data any) *Token {
+	return &Token{Class: class, Data: data, movedAt: -1, readyAt: -1}
+}
+
+// Recycle prepares a retired token for reuse by the simulator's token cache.
+func (t *Token) Recycle(class ClassID, data any) {
+	t.Class = class
+	t.Data = data
+	t.Delay = 0
+	t.place = nil
+	t.readyAt = -1
+	t.movedAt = -1
+	t.staged = false
+}

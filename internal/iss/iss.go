@@ -1,0 +1,221 @@
+// Package iss is a functional instruction-set simulator for the ARM7 subset.
+// It is the golden model: the cycle-accurate simulators (RCPN-generated and
+// the SimpleScalar-like baseline) must produce exactly the same architected
+// results — register file, memory, emitted output, exit code — for every
+// workload. It is also the "fast functional simulator" end of the spectrum
+// the paper's conclusion points at.
+package iss
+
+import (
+	"fmt"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/mem"
+)
+
+// CPU is the architected state plus execution plumbing.
+type CPU struct {
+	R   [16]uint32 // R[15] is the address of the *next* instruction to fetch
+	F   arm.Flags
+	Mem *mem.Memory
+
+	Instret uint64   // retired instruction count
+	Output  []uint32 // words emitted via SysEmit
+	Text    []byte   // bytes emitted via SysPutc
+	Exited  bool
+	Exit    uint32
+
+	decode map[uint32]*arm.Instr // per-PC decode cache
+
+	// MaxInstrs aborts runaway programs; 0 means no limit.
+	MaxInstrs uint64
+}
+
+// New returns a CPU with the program image loaded and PC/SP initialized.
+// The stack pointer starts at stackTop (use 0 for the 0x00400000 default).
+func New(p *arm.Program, stackTop uint32) *CPU {
+	if stackTop == 0 {
+		stackTop = 0x00400000
+	}
+	c := &CPU{Mem: mem.New(), decode: make(map[uint32]*arm.Instr)}
+	c.Mem.LoadImage(p.Base, p.Bytes)
+	c.R[arm.PC] = p.Entry
+	c.R[arm.SP] = stackTop
+	return c
+}
+
+// reg reads a register as an operand: r15 reads as the current instruction
+// address + 8 (ARM pipeline-visible PC).
+func (c *CPU) reg(r arm.Reg, instrAddr uint32) uint32 {
+	if r == arm.PC {
+		return instrAddr + 8
+	}
+	return c.R[r]
+}
+
+// ErrUndefined is returned when execution reaches an instruction word
+// outside the supported subset.
+type ErrUndefined struct {
+	Addr uint32
+	Raw  uint32
+}
+
+func (e *ErrUndefined) Error() string {
+	return fmt.Sprintf("iss: undefined instruction %#08x at %#08x", e.Raw, e.Addr)
+}
+
+// Step executes one instruction. It returns an error for undefined
+// instructions or unknown system calls; normal termination sets Exited.
+func (c *CPU) Step() error {
+	addr := c.R[arm.PC]
+	raw := c.Mem.Read32(addr)
+	ins := c.decode[addr]
+	if ins == nil || ins.Raw != raw {
+		d := arm.Decode(raw, addr)
+		ins = &d
+		c.decode[addr] = ins
+	}
+	c.Instret++
+	nextPC := addr + 4
+
+	if !ins.Cond.Passes(c.F.N, c.F.Z, c.F.C, c.F.V) {
+		c.R[arm.PC] = nextPC
+		return nil
+	}
+
+	switch ins.Class {
+	case arm.ClassDataProc:
+		rm := c.reg(ins.Rm, addr)
+		rs := c.reg(ins.Rs, addr)
+		op2, shiftC := ins.Operand2Value(rm, rs, c.F.C)
+		a := c.reg(ins.Rn, addr)
+		res, fl := arm.AluExec(ins.Op, a, op2, c.F, shiftC)
+		if ins.SetFlags || ins.IsCompare() {
+			c.F = fl
+		}
+		if ins.Op.WritesRd() {
+			if ins.Rd == arm.PC {
+				nextPC = res &^ 3
+			} else {
+				c.R[ins.Rd] = res
+			}
+		}
+
+	case arm.ClassMult:
+		if ins.Long {
+			lo, hi, fl := arm.MulLongExec(ins.SignedMul, ins.Accum,
+				c.reg(ins.Rm, addr), c.reg(ins.Rs, addr),
+				c.R[ins.Rn], c.R[ins.Rd], c.F)
+			if ins.SetFlags {
+				c.F = fl
+			}
+			c.R[ins.Rn] = lo // RdLo
+			c.R[ins.Rd] = hi // RdHi
+			break
+		}
+		res, fl := arm.MulExec(ins.Accum, c.reg(ins.Rm, addr), c.reg(ins.Rs, addr),
+			c.reg(ins.Rn, addr), c.F)
+		if ins.SetFlags {
+			c.F = fl
+		}
+		c.R[ins.Rd] = res
+
+	case arm.ClassLoadStore:
+		base := c.reg(ins.Rn, addr)
+		ea, wb, doWB := ins.LSAddress(base, c.reg(ins.Rm, addr))
+		if ins.Load {
+			v := ins.LoadValue(c.Mem, ea)
+			if doWB && ins.Rn != arm.PC {
+				c.R[ins.Rn] = wb
+			}
+			if ins.Rd == arm.PC {
+				nextPC = v &^ 3
+			} else {
+				c.R[ins.Rd] = v
+			}
+		} else {
+			v := c.reg(ins.Rd, addr)
+			if ins.Rd == arm.PC {
+				v = addr + 12 // STR pc stores pc+12 on ARM7
+			}
+			switch {
+			case ins.Byte:
+				c.Mem.Write8(ea, byte(v))
+			case ins.Half:
+				c.Mem.Write16(ea, uint16(v))
+			default:
+				c.Mem.Write32(ea, v)
+			}
+			if doWB && ins.Rn != arm.PC {
+				c.R[ins.Rn] = wb
+			}
+		}
+
+	case arm.ClassLoadStoreM:
+		base := c.reg(ins.Rn, addr)
+		addrs, final := ins.LSMAddresses(base)
+		k := 0
+		for r := arm.Reg(0); r < 16; r++ {
+			if ins.RegList&(1<<r) == 0 {
+				continue
+			}
+			ea := addrs[k]
+			k++
+			if ins.Load {
+				v := c.Mem.Read32(ea)
+				if r == arm.PC {
+					nextPC = v &^ 3
+				} else {
+					c.R[r] = v
+				}
+			} else {
+				c.Mem.Write32(ea, c.reg(r, addr))
+			}
+		}
+		if ins.Writeback && ins.Rn != arm.PC {
+			// Base writeback; if the base was also loaded, the loaded value
+			// wins (matching the ARM7 "loaded value overwrites" behaviour).
+			if !(ins.Load && ins.RegList&(1<<ins.Rn) != 0) {
+				c.R[ins.Rn] = final
+			}
+		}
+
+	case arm.ClassBranch:
+		if ins.Link {
+			c.R[arm.LR] = addr + 4
+		}
+		nextPC = ins.Target()
+
+	case arm.ClassSystem:
+		if ins.Undefined() {
+			return &ErrUndefined{Addr: addr, Raw: raw}
+		}
+		switch ins.SWINum {
+		case arm.SysExit:
+			c.Exited = true
+			c.Exit = c.R[0]
+		case arm.SysEmit:
+			c.Output = append(c.Output, c.R[0])
+		case arm.SysPutc:
+			c.Text = append(c.Text, byte(c.R[0]))
+		default:
+			return fmt.Errorf("iss: unknown syscall %d at %#08x", ins.SWINum, addr)
+		}
+	}
+
+	c.R[arm.PC] = nextPC
+	return nil
+}
+
+// Run executes until the program exits (or MaxInstrs is exceeded).
+func (c *CPU) Run() error {
+	for !c.Exited {
+		if c.MaxInstrs != 0 && c.Instret >= c.MaxInstrs {
+			return fmt.Errorf("iss: instruction limit %d exceeded at pc=%#08x", c.MaxInstrs, c.R[arm.PC])
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

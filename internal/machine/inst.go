@@ -1,0 +1,273 @@
+package machine
+
+import (
+	"rcpn/internal/arm"
+	"rcpn/internal/core"
+	"rcpn/internal/reg"
+)
+
+// Inst is the payload of an instruction token: the statically decoded
+// instruction plus its operand references. It is the paper's "customized
+// version of the corresponding RCPN sub-net ... generated for individual
+// instances of instructions": symbols of the operation class are replaced by
+// RegRef/Const objects at decode, and the instance is cached per PC and
+// recycled (§3, §5).
+type Inst struct {
+	m   *Machine
+	I   arm.Instr
+	Tok *core.Token
+	Seq uint64
+
+	// Operand references; usage varies by class:
+	//   DataProc:   src1=Rn  src2=op2(Rm/imm)  src3=Rs shift amount
+	//   Mult:       src1=Rm  src2=Rs           src3=Rn accumulator
+	//   LoadStore:  src1=Rn base  src2=offset  src3=Rd store data
+	//   System:     src1=r0
+	src1, src2, src3 reg.Operand
+	dst              *reg.Ref   // Rd write target (nil if none or PC); RdHi for long multiplies
+	dst2             *reg.Ref   // RdLo of long multiplies
+	lr               *reg.Ref   // link-register write (BL)
+	psr              *reg.Ref   // flags read and/or write
+	lrefs            []*reg.Ref // LDM/STM per-register refs, list order
+
+	needPSR     bool // reads flags (condition or carry-in)
+	writesFlags bool
+	writesPC    bool // result redirects control flow (non-Branch classes)
+
+	// Per-dynamic-instance state.
+	inUse    bool
+	annulled bool
+	resolved bool   // control transfer already performed
+	predNext uint32 // fetch PC chosen after this instruction was fetched
+	ea       uint32 // effective address (LoadStore)
+	wbVal    uint32 // base writeback value
+	lsmIdx   int    // next register slot during LDM/STM micro-steps
+	lsmAddrs []uint32
+	lsmBase  *reg.Ref
+}
+
+// InState forwards pipeline-state queries to the token, so Refs owned by
+// this instruction can answer CanReadIn (bypass) questions.
+func (in *Inst) InState(s int) bool { return in.Tok.InState(s) }
+
+// decode returns a ready instruction instance for addr, reusing a pooled one
+// when available (the token cache / partial-evaluation optimization).
+func (m *Machine) decode(addr uint32) *Inst {
+	if in := m.poolGet(addr); in != nil {
+		in.resetDynamic()
+		return in
+	}
+	return m.newInst(addr)
+}
+
+func (in *Inst) resetDynamic() {
+	in.inUse = true
+	in.annulled = false
+	in.resolved = false
+	in.predNext = 0
+	in.ea = 0
+	in.wbVal = 0
+	in.lsmIdx = 0
+	in.lsmAddrs = in.lsmAddrs[:0]
+	in.Tok.Recycle(core.ClassID(in.I.Class), in)
+}
+
+// newInst decodes the word at addr and wires the operation class's symbols
+// to RegRef/Const operands.
+func (m *Machine) newInst(addr uint32) *Inst {
+	raw := m.Mem.Read32(addr)
+	in := &Inst{m: m, I: arm.Decode(raw, addr), inUse: true}
+	in.Tok = core.NewToken(core.ClassID(in.I.Class), in)
+	i := &in.I
+
+	// A register operand; reads of r15 are the statically known addr+8.
+	rd := func(r arm.Reg) reg.Operand {
+		if r == arm.PC {
+			return reg.NewConst(addr + 8)
+		}
+		return reg.NewRef(m.regs[r], in)
+	}
+	wr := func(r arm.Reg) *reg.Ref { return reg.NewRef(m.regs[r], in) }
+
+	in.needPSR = i.Cond != arm.AL
+	switch i.Class {
+	case arm.ClassDataProc:
+		if i.Op.UsesRn() {
+			in.src1 = rd(i.Rn)
+		}
+		if i.HasImm {
+			in.src2 = reg.NewConst(i.Imm)
+		} else {
+			in.src2 = rd(i.Rm)
+		}
+		if i.ShiftReg {
+			in.src3 = rd(i.Rs)
+		}
+		switch {
+		case !i.Op.WritesRd():
+		case i.Rd == arm.PC:
+			in.writesPC = true
+		default:
+			in.dst = wr(i.Rd)
+		}
+		in.writesFlags = i.SetFlags
+		usesCarry := i.Op == arm.OpADC || i.Op == arm.OpSBC || i.Op == arm.OpRSC ||
+			(!i.HasImm && !i.ShiftReg && i.ShiftTyp == arm.ROR && i.ShiftAmt == 0) // RRX
+		in.needPSR = in.needPSR || usesCarry || i.SetFlags
+
+	case arm.ClassMult:
+		in.src1 = rd(i.Rm)
+		in.src2 = rd(i.Rs)
+		if i.Long {
+			in.dst = wr(i.Rd)  // RdHi
+			in.dst2 = wr(i.Rn) // RdLo
+		} else {
+			if i.Accum {
+				in.src3 = rd(i.Rn)
+			}
+			in.dst = wr(i.Rd)
+		}
+		in.writesFlags = i.SetFlags
+		in.needPSR = in.needPSR || i.SetFlags
+
+	case arm.ClassLoadStore:
+		in.src1 = rd(i.Rn)
+		if i.HasImm {
+			in.src2 = reg.NewConst(i.Imm)
+		} else {
+			in.src2 = rd(i.Rm)
+		}
+		if i.Load {
+			if i.Rd == arm.PC {
+				in.writesPC = true
+			} else {
+				in.dst = wr(i.Rd)
+			}
+		} else {
+			if i.Rd == arm.PC {
+				in.src3 = reg.NewConst(addr + 12) // STR pc stores pc+12
+			} else {
+				in.src3 = rd(i.Rd)
+			}
+		}
+
+	case arm.ClassLoadStoreM:
+		in.src1 = rd(i.Rn)
+		if b, ok := in.src1.(*reg.Ref); ok {
+			in.lsmBase = b
+		}
+		for r := arm.Reg(0); r < 16; r++ {
+			if i.RegList&(1<<r) == 0 {
+				continue
+			}
+			if r == arm.PC {
+				if i.Load {
+					in.writesPC = true
+					in.lrefs = append(in.lrefs, nil) // slot for PC load
+				} else {
+					in.lrefs = append(in.lrefs, nil) // STM pc: handled as const
+				}
+				continue
+			}
+			in.lrefs = append(in.lrefs, wr(r))
+		}
+
+	case arm.ClassBranch:
+		if i.Link {
+			in.lr = wr(arm.LR)
+		}
+
+	case arm.ClassSystem:
+		in.src1 = rd(0) // r0 carries the syscall argument
+	}
+
+	if in.needPSR || in.writesFlags {
+		in.psr = reg.NewRef(m.psrReg, in)
+	}
+	return in
+}
+
+// flags returns the architected NZCV as seen by this instruction's psr ref
+// (valid only after psr.Read()).
+func (in *Inst) flags() arm.Flags { return unpackFlags(in.psr.Value()) }
+
+// readable reports whether op can be sourced from the register file or any
+// of the bypass states.
+func readable(op reg.Operand, bypass ...int) bool {
+	if op == nil || op.CanRead() {
+		return true
+	}
+	for _, s := range bypass {
+		if op.CanReadIn(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// readFrom loads op's value from the register file or the first bypass state
+// holding it; guards must have established readability.
+func readFrom(op reg.Operand, bypass ...int) {
+	if op == nil {
+		return
+	}
+	if op.CanRead() {
+		op.Read()
+		return
+	}
+	for _, s := range bypass {
+		if op.CanReadIn(s) {
+			op.ReadIn(s)
+			return
+		}
+	}
+	// Guard/action mismatch: surface the model bug like reg.Ref.ReadIn does.
+	op.ReadIn(-1)
+}
+
+// releaseLocks drops every reservation this (squashed) instance may hold.
+func (in *Inst) releaseLocks() {
+	if in.dst != nil {
+		in.dst.Release()
+	}
+	if in.dst2 != nil {
+		in.dst2.Release()
+	}
+	if in.lr != nil {
+		in.lr.Release()
+	}
+	if in.psr != nil {
+		in.psr.Release()
+	}
+	for _, r := range in.lrefs {
+		if r != nil {
+			r.Release()
+		}
+	}
+	if in.lsmBase != nil {
+		in.lsmBase.Release()
+	}
+}
+
+// resolveControl redirects fetch once the architected next PC is known.
+// Instructions that serialized the front end (SWI, PC loads) simply release
+// it toward the right target; otherwise a wrong predicted path flushes the
+// younger in-flight instructions (§3.2's "flushing L1 and L2 latches"
+// generalized to the whole pipeline).
+func (in *Inst) resolveControl(actualNext uint32) {
+	in.resolved = true
+	m := in.m
+	if m.functional {
+		// Functional extraction: no pipeline, just redirect.
+		m.pc = actualNext
+		return
+	}
+	if m.fetchHold == in {
+		m.fetchHold = nil
+		m.pc = actualNext
+		return
+	}
+	if actualNext != in.predNext {
+		m.flushAfter(in.Seq, actualNext)
+	}
+}

@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rcpn/internal/arm"
+)
+
+// Tracer renders a classic pipeline-occupancy trace: one line per cycle,
+// one column per place, showing the instruction resident in each stage.
+// Because places mirror the pipeline diagram, the trace falls directly out
+// of the RCPN structure — no per-model tracing code is needed.
+type Tracer struct {
+	m     *Machine
+	w     io.Writer
+	limit int64 // stop tracing after this many cycles (0 = unlimited)
+	shown int64
+}
+
+// AttachTracer installs a tracer writing to w for at most limit cycles
+// (0 = unlimited). It must be attached before Run; the cycle loop invokes
+// it after every Step.
+func (m *Machine) AttachTracer(w io.Writer, limit int64) *Tracer {
+	t := &Tracer{m: m, w: w, limit: limit}
+	m.tracer = t
+	t.header()
+	return t
+}
+
+func (t *Tracer) header() {
+	fmt.Fprintf(t.w, "%8s", "cycle")
+	for _, p := range t.m.Net.Places() {
+		if p.End {
+			continue
+		}
+		fmt.Fprintf(t.w, " | %-22s", p.Name)
+	}
+	fmt.Fprintln(t.w)
+}
+
+// snap emits one trace line for the current cycle.
+func (t *Tracer) snap() {
+	if t.limit > 0 && t.shown >= t.limit {
+		return
+	}
+	t.shown++
+	fmt.Fprintf(t.w, "%8d", t.m.Net.CycleCount()-1)
+	for _, p := range t.m.Net.Places() {
+		if p.End {
+			continue
+		}
+		cell := ""
+		if n := p.Reservations(); n > 0 {
+			cell = fmt.Sprintf("<%d res> ", n)
+		}
+		var insts []string
+		for _, tok := range p.Tokens() {
+			if in, ok := tok.Data.(*Inst); ok {
+				insts = append(insts, shortDisasm(in))
+			}
+		}
+		cell += strings.Join(insts, ",")
+		fmt.Fprintf(t.w, " | %-22s", clip(cell, 22))
+	}
+	fmt.Fprintln(t.w)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "~"
+}
+
+// UtilizationReport renders per-transition firing counts relative to the
+// executed cycles — the "different resource utilization statistics" a
+// cycle-accurate simulator reports (§1). Transitions that never fired are
+// listed too (unexercised paths are as interesting as hot ones).
+func (m *Machine) UtilizationReport() string {
+	var b strings.Builder
+	cyc := m.Net.CycleCount()
+	fmt.Fprintf(&b, "%-28s%12s%12s\n", "transition", "fires", "util")
+	for _, t := range m.Net.Transitions() {
+		util := 0.0
+		if cyc > 0 {
+			util = float64(t.Fires) / float64(cyc)
+		}
+		fmt.Fprintf(&b, "%-28s%12d%11.1f%%\n", t.Name, t.Fires, 100*util)
+	}
+	for _, p := range m.Net.Places() {
+		if p.Stalls > 0 {
+			fmt.Fprintf(&b, "stalled token-cycles at %-4s%12d\n", p.Name, p.Stalls)
+		}
+	}
+	return b.String()
+}
+
+// shortDisasm renders "8004:add r0,r0,#1" style cells.
+func shortDisasm(in *Inst) string {
+	d := arm.Disassemble(&in.I)
+	if i := strings.IndexByte(d, ' '); i > 0 {
+		d = d[:i]
+	}
+	mark := ""
+	if in.annulled {
+		mark = "!"
+	}
+	return fmt.Sprintf("%x:%s%s", in.I.Addr&0xffff, d, mark)
+}

@@ -1,0 +1,85 @@
+// Package mem provides the memory substrate shared by all simulators: a
+// sparse paged flat memory for data, and latency-producing cache models that
+// feed the data-dependent token delays of the RCPN LoadStore sub-nets
+// (the paper's "t.delay = mem.delay(addr)").
+package mem
+
+import "encoding/binary"
+
+const (
+	pageBits = 16
+	pageSize = 1 << pageBits
+	numPages = 1 << (32 - pageBits)
+)
+
+// Memory is a sparse, paged, little-endian 32-bit address space. The zero
+// value is ready to use. Word accesses are aligned by the implementation
+// (low address bits ignored, as the ARM7 data path does).
+type Memory struct {
+	pages [numPages]*[pageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{} }
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[addr>>pageBits] = p
+	}
+	return p
+}
+
+// LoadImage copies b into memory starting at base.
+func (m *Memory) LoadImage(base uint32, b []byte) {
+	for i, v := range b {
+		m.Write8(base+uint32(i), v)
+	}
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32) byte {
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v byte) {
+	m.page(addr)[addr&(pageSize-1)] = v
+}
+
+// Read16 reads an aligned little-endian halfword (low address bit ignored).
+func (m *Memory) Read16(addr uint32) uint16 {
+	addr &^= 1
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 writes an aligned little-endian halfword (low address bit
+// ignored).
+func (m *Memory) Write16(addr uint32, v uint16) {
+	addr &^= 1
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+}
+
+// Read32 reads an aligned little-endian word (low address bits ignored).
+func (m *Memory) Read32(addr uint32) uint32 {
+	addr &^= 3
+	off := addr & (pageSize - 1)
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p[off : off+4])
+}
+
+// Write32 writes an aligned little-endian word (low address bits ignored).
+func (m *Memory) Write32(addr uint32, v uint32) {
+	addr &^= 3
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint32(m.page(addr)[off:off+4], v)
+}

@@ -1,0 +1,367 @@
+// Package reg implements the paper's three-level register structure
+// (Figure 3) — the explicit lock/unlock (semaphore) mechanism RCPN uses for
+// data hazards instead of tokens:
+//
+//   - File: the actual storage for data plus, per storage cell, the pointers
+//     to the instructions (RegRefs) that will write it.
+//   - Register: an index into a File's storage; multiple Registers may point
+//     at the same cell to model overlapping registers (register banks,
+//     windows).
+//   - Ref (the paper's RegRef): a per-instruction reference to a Register
+//     with an internal temporary value — effectively a rename register per
+//     instruction instance. Instructions compute on Ref internals and talk
+//     to architected state only through the fixed interface:
+//     CanRead/Read, CanReadIn/ReadIn (bypass via "writer is in state s"),
+//     CanWrite/ReserveWrite/Writeback.
+//
+// Const provides the same interface for immediate operands so operation
+// classes can treat register and constant symbols uniformly.
+package reg
+
+import "fmt"
+
+// StateQuerier answers "is the instruction holding this RegRef currently in
+// pipeline state s?" — the hook the CanReadIn/ReadIn bypass interface needs.
+// In the RCPN simulators the querier is the instruction token; states are
+// place IDs. The package deliberately depends only on this tiny interface.
+type StateQuerier interface {
+	InState(state int) bool
+}
+
+// Operand is the fixed interface of the paper's RegRef, shared by Ref and
+// Const. Guard conditions use the Can* predicates; transition bodies use the
+// corresponding actions, always in matched pairs (§3.1).
+type Operand interface {
+	// CanRead reports whether the architected register is ready for reading
+	// (no other instruction has reserved it for writing).
+	CanRead() bool
+	// CanReadIn reports whether the most recent pending writer's instruction
+	// is in pipeline state s with its result computed — i.e. whether the
+	// value can be picked up from a feedback/bypass path right now.
+	CanReadIn(state int) bool
+	// Read copies the architected register value into the internal storage.
+	Read()
+	// ReadIn copies the pending writer's internal value (the bypass network)
+	// into the internal storage instead of reading the register.
+	ReadIn(state int)
+	// Peek purely returns the value Read/ReadIn would deliver given the
+	// allowed bypass states, and whether any source is currently readable.
+	// For use in guards, which must not mutate state.
+	Peek(bypass ...int) (uint32, bool)
+	// CanWrite reports whether the register can be reserved for writing
+	// (write-after-write and write-after-read hazards clear).
+	CanWrite() bool
+	// ReserveWrite records this reference (and thus its instruction) as a
+	// pending writer of the register, blocking subsequent readers.
+	ReserveWrite()
+	// Writeback commits the internal value to the architected register and
+	// releases this reference's writer reservation.
+	Writeback()
+	// Value returns the internal (temporary) storage.
+	Value() uint32
+	// SetValue sets the internal storage (the computation result) and marks
+	// the value as available to bypass readers.
+	SetValue(v uint32)
+}
+
+// File is the actual storage: data values and writer bookkeeping per cell.
+// Each cell tracks the ordered list of pending writers (oldest first); the
+// newest defines the value later readers must see.
+type File struct {
+	name    string
+	vals    []uint32
+	writers [][]*Ref
+	regs    []*Register
+
+	// Reservation-order generation stamps: a Writeback only lands if no
+	// later-reserved writer already committed the cell, which keeps the
+	// architected value correct under out-of-order completion (XScale).
+	genCtr []uint64
+	wbGen  []uint64
+}
+
+// NewFile creates a register file with n storage cells.
+func NewFile(name string, n int) *File {
+	return &File{
+		name:    name,
+		vals:    make([]uint32, n),
+		writers: make([][]*Ref, n),
+		genCtr:  make([]uint64, n),
+		wbGen:   make([]uint64, n),
+	}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the number of storage cells.
+func (f *File) Size() int { return len(f.vals) }
+
+// Raw returns the architected value of cell i, bypassing hazard bookkeeping
+// (for result checking and debugging, not for modeled instructions).
+func (f *File) Raw(i int) uint32 { return f.vals[i] }
+
+// SetRaw sets the architected value of cell i directly (initialization).
+func (f *File) SetRaw(i int, v uint32) { f.vals[i] = v }
+
+// PendingWriter returns the newest Ref reserved to write cell i, or nil.
+func (f *File) PendingWriter(i int) *Ref {
+	w := f.writers[i]
+	if len(w) == 0 {
+		return nil
+	}
+	return w[len(w)-1]
+}
+
+// PendingWriters returns how many writers are outstanding on cell i.
+func (f *File) PendingWriters(i int) int { return len(f.writers[i]) }
+
+// ClearHazards drops all writer reservations (whole-pipeline reset support).
+func (f *File) ClearHazards() {
+	for i := range f.writers {
+		f.writers[i] = f.writers[i][:0]
+	}
+}
+
+// Register registers (and returns) a named architectural register backed by
+// cell. Multiple registers may share a cell to model overlap.
+func (f *File) Register(name string, cell int) *Register {
+	if cell < 0 || cell >= len(f.vals) {
+		panic(fmt.Sprintf("reg: %s.%s: cell %d out of range [0,%d)", f.name, name, cell, len(f.vals)))
+	}
+	r := &Register{file: f, cell: cell, name: name}
+	f.regs = append(f.regs, r)
+	return r
+}
+
+// Register is an architectural register: a name plus a pointer into a File's
+// storage.
+type Register struct {
+	file *File
+	cell int
+	name string
+}
+
+// Name returns the register name.
+func (r *Register) Name() string { return r.name }
+
+// Cell returns the storage cell index (shared cells model overlap).
+func (r *Register) Cell() int { return r.cell }
+
+// File returns the owning register file.
+func (r *Register) File() *File { return r.file }
+
+// Value returns the current architected value.
+func (r *Register) Value() uint32 { return r.file.vals[r.cell] }
+
+// Set sets the architected value directly (initialization/debug).
+func (r *Register) Set(v uint32) { r.file.vals[r.cell] = v }
+
+// Ref is the paper's RegRef: a per-instruction handle on a Register with
+// internal temporary storage. The zero Ref is not usable; obtain Refs with
+// NewRef or Ref.Retarget.
+type Ref struct {
+	reg   *Register
+	val   uint32
+	ready bool   // val holds a computed result (bypassable)
+	gen   uint64 // reservation-order stamp (see File.genCtr)
+	owner StateQuerier
+}
+
+// NewRef creates a reference to r owned by the instruction represented by
+// owner (may be nil when bypass queries are not used).
+func NewRef(r *Register, owner StateQuerier) *Ref {
+	return &Ref{reg: r, owner: owner}
+}
+
+// Retarget repoints a pooled Ref at a (possibly different) register and
+// owner, clearing the internal value. This supports the simulator's token
+// cache: decoded instructions and their Refs are recycled between dynamic
+// instances (§5 "the tokens are cached for later reuse").
+func (r *Ref) Retarget(reg *Register, owner StateQuerier) {
+	r.reg = reg
+	r.owner = owner
+	r.val = 0
+	r.ready = false
+}
+
+// Register returns the referenced architectural register.
+func (r *Ref) Register() *Register { return r.reg }
+
+func (r *Ref) cell() (*File, int) { return r.reg.file, r.reg.cell }
+
+// lastWriter returns the newest pending writer of the cell, or nil.
+func (r *Ref) lastWriter() *Ref {
+	f, c := r.cell()
+	w := f.writers[c]
+	if len(w) == 0 {
+		return nil
+	}
+	return w[len(w)-1]
+}
+
+// CanRead implements Operand: readable when no writer is pending, or the
+// only pending writer is this reference itself.
+func (r *Ref) CanRead() bool {
+	f, c := r.cell()
+	w := f.writers[c]
+	return len(w) == 0 || (len(w) == 1 && w[0] == r)
+}
+
+// CanReadIn implements Operand.
+func (r *Ref) CanReadIn(state int) bool {
+	w := r.lastWriter()
+	return w != nil && w != r && w.ready && w.owner != nil && w.owner.InState(state)
+}
+
+// Read implements Operand.
+func (r *Ref) Read() {
+	f, c := r.cell()
+	r.val = f.vals[c]
+	r.ready = true
+}
+
+// ReadIn implements Operand. It must only be called when CanReadIn(state)
+// held in the matching guard; calling it without a pending writer panics,
+// surfacing the model bug (mismatched guard/action pair).
+func (r *Ref) ReadIn(state int) {
+	w := r.lastWriter()
+	if w == nil || w == r {
+		f, _ := r.cell()
+		panic(fmt.Sprintf("reg: ReadIn(%d) on %s.%s with no pending writer (guard/action mismatch)",
+			state, f.name, r.reg.name))
+	}
+	r.val = w.val
+	r.ready = true
+}
+
+// Peek implements Operand.
+func (r *Ref) Peek(bypass ...int) (uint32, bool) {
+	if r.CanRead() {
+		f, c := r.cell()
+		return f.vals[c], true
+	}
+	for _, s := range bypass {
+		if r.CanReadIn(s) {
+			return r.lastWriter().val, true
+		}
+	}
+	return 0, false
+}
+
+// CanWrite implements Operand: strict WAW — at most this reference itself
+// may already be reserved. In-order flag pipelines may skip this check and
+// stack reservations; see ReserveWrite.
+func (r *Ref) CanWrite() bool {
+	f, c := r.cell()
+	w := f.writers[c]
+	return len(w) == 0 || (len(w) == 1 && w[0] == r)
+}
+
+// ReserveWrite implements Operand: push this reference as the newest pending
+// writer (idempotent per reference).
+func (r *Ref) ReserveWrite() {
+	f, c := r.cell()
+	for _, w := range f.writers[c] {
+		if w == r {
+			return
+		}
+	}
+	f.writers[c] = append(f.writers[c], r)
+	f.genCtr[c]++
+	r.gen = f.genCtr[c]
+	r.ready = false
+}
+
+// Writeback implements Operand. The value lands only if no later-reserved
+// writer already committed the cell — an older instruction completing after
+// a younger one (out-of-order completion) must not clobber the younger's
+// architected result.
+func (r *Ref) Writeback() {
+	f, c := r.cell()
+	if r.gen >= f.wbGen[c] {
+		f.vals[c] = r.val
+		f.wbGen[c] = r.gen
+	}
+	r.removeReservation()
+}
+
+// Release drops this reference's writer reservation without committing a
+// value (squashed/flushed instructions).
+func (r *Ref) Release() { r.removeReservation() }
+
+func (r *Ref) removeReservation() {
+	f, c := r.cell()
+	w := f.writers[c]
+	for i, x := range w {
+		if x == r {
+			copy(w[i:], w[i+1:])
+			f.writers[c] = w[:len(w)-1]
+			return
+		}
+	}
+}
+
+// Value implements Operand.
+func (r *Ref) Value() uint32 { return r.val }
+
+// Ready reports whether the internal value has been computed (by SetValue,
+// Read or ReadIn). Reservation-station style models use it for tag-based
+// waiting: a consumer that captured this Ref as its producer tag at dispatch
+// polls Ready until the value exists (see examples/tomasulo).
+func (r *Ref) Ready() bool { return r.ready }
+
+// SetValue implements Operand.
+func (r *Ref) SetValue(v uint32) {
+	r.val = v
+	r.ready = true
+}
+
+// Const is an immediate operand with the RegRef interface: its CanRead is
+// always true, its Read/Writeback do nothing to architected state, so the
+// same operation-class code handles register and constant symbols (§3.1).
+type Const struct {
+	val uint32
+}
+
+// NewConst returns a constant operand.
+func NewConst(v uint32) *Const { return &Const{val: v} }
+
+// Reset re-initializes a pooled Const to a new value.
+func (c *Const) Reset(v uint32) { c.val = v }
+
+// CanRead implements Operand; constants are always readable.
+func (c *Const) CanRead() bool { return true }
+
+// CanReadIn implements Operand; constants have no pending writers.
+func (c *Const) CanReadIn(state int) bool { return false }
+
+// Read implements Operand; the value is already internal.
+func (c *Const) Read() {}
+
+// ReadIn implements Operand; no-op for constants.
+func (c *Const) ReadIn(state int) {}
+
+// Peek implements Operand.
+func (c *Const) Peek(bypass ...int) (uint32, bool) { return c.val, true }
+
+// CanWrite implements Operand; writing a constant is a silent no-op target.
+func (c *Const) CanWrite() bool { return true }
+
+// ReserveWrite implements Operand; no-op.
+func (c *Const) ReserveWrite() {}
+
+// Writeback implements Operand; no-op.
+func (c *Const) Writeback() {}
+
+// Value implements Operand.
+func (c *Const) Value() uint32 { return c.val }
+
+// SetValue implements Operand; the internal value changes but nothing
+// persists (matching the paper's "proper implementation" for Const).
+func (c *Const) SetValue(v uint32) { c.val = v }
+
+var (
+	_ Operand = (*Ref)(nil)
+	_ Operand = (*Const)(nil)
+)

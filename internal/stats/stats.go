@@ -1,0 +1,167 @@
+// Package stats collects and renders the measurements the experiment
+// harness reports: simulated cycles, retired instructions, CPI, host wall
+// time and simulation throughput (million cycles per second — the unit of
+// the paper's Figure 10).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Run is one (simulator, workload) measurement.
+type Run struct {
+	Simulator string
+	Workload  string
+	Cycles    int64
+	Instret   uint64
+	Wall      time.Duration
+}
+
+// CPI returns cycles per instruction.
+func (r Run) CPI() float64 {
+	if r.Instret == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instret)
+}
+
+// MCyclesPerSec returns simulation throughput in million cycles per second.
+func (r Run) MCyclesPerSec() float64 {
+	s := r.Wall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / s / 1e6
+}
+
+// Set accumulates runs and renders figure-style tables.
+type Set struct {
+	Runs []Run
+}
+
+// Add appends a run.
+func (s *Set) Add(r Run) { s.Runs = append(s.Runs, r) }
+
+// Simulators returns the distinct simulator names in first-seen order.
+func (s *Set) Simulators() []string { return s.distinct(func(r Run) string { return r.Simulator }) }
+
+// Workloads returns the distinct workload names in first-seen order.
+func (s *Set) Workloads() []string { return s.distinct(func(r Run) string { return r.Workload }) }
+
+func (s *Set) distinct(key func(Run) string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range s.Runs {
+		k := key(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Get returns the run for (sim, workload) and whether it exists.
+func (s *Set) Get(sim, workload string) (Run, bool) {
+	for _, r := range s.Runs {
+		if r.Simulator == sim && r.Workload == workload {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+// Metric selects what a table cell shows.
+type Metric func(Run) float64
+
+// MetricMCPS is simulation speed (Figure 10).
+func MetricMCPS(r Run) float64 { return r.MCyclesPerSec() }
+
+// MetricCPI is clocks per instruction (Figure 11).
+func MetricCPI(r Run) float64 { return r.CPI() }
+
+// Table renders workloads as rows and simulators as columns, with a
+// geometric-mean-free arithmetic Average row like the paper's figures, in
+// aligned plain text.
+func (s *Set) Table(title, unit string, metric Metric, digits int) string {
+	sims := s.Simulators()
+	works := s.Workloads()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, unit)
+
+	width := 12
+	for _, sim := range sims {
+		if len(sim)+2 > width {
+			width = len(sim) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, sim := range sims {
+		fmt.Fprintf(&b, "%*s", width, sim)
+	}
+	b.WriteString("\n")
+
+	sums := make([]float64, len(sims))
+	counts := make([]int, len(sims))
+	for _, w := range works {
+		fmt.Fprintf(&b, "%-12s", w)
+		for i, sim := range sims {
+			if r, ok := s.Get(sim, w); ok {
+				v := metric(r)
+				sums[i] += v
+				counts[i]++
+				fmt.Fprintf(&b, "%*.*f", width, digits, v)
+			} else {
+				fmt.Fprintf(&b, "%*s", width, "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-12s", "Average")
+	for i := range sims {
+		if counts[i] > 0 {
+			fmt.Fprintf(&b, "%*.*f", width, digits, sums[i]/float64(counts[i]))
+		} else {
+			fmt.Fprintf(&b, "%*s", width, "-")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Average returns the arithmetic mean of metric over the simulator's runs.
+func (s *Set) Average(sim string, metric Metric) float64 {
+	sum, n := 0.0, 0
+	for _, r := range s.Runs {
+		if r.Simulator == sim {
+			sum += metric(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CSV renders all runs as CSV (one row per run) for external plotting.
+func (s *Set) CSV() string {
+	var b strings.Builder
+	b.WriteString("simulator,workload,cycles,instructions,cpi,wall_seconds,mcycles_per_sec\n")
+	runs := append([]Run(nil), s.Runs...)
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].Simulator != runs[j].Simulator {
+			return runs[i].Simulator < runs[j].Simulator
+		}
+		return runs[i].Workload < runs[j].Workload
+	})
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%.4f,%.4f,%.3f\n",
+			r.Simulator, r.Workload, r.Cycles, r.Instret, r.CPI(),
+			r.Wall.Seconds(), r.MCyclesPerSec())
+	}
+	return b.String()
+}

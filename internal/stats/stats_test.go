@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() *Set {
+	s := &Set{}
+	s.Add(Run{Simulator: "ssim", Workload: "crc", Cycles: 1_000_000, Instret: 500_000, Wall: 2 * time.Second})
+	s.Add(Run{Simulator: "ssim", Workload: "go", Cycles: 2_000_000, Instret: 1_000_000, Wall: 4 * time.Second})
+	s.Add(Run{Simulator: "rcpn", Workload: "crc", Cycles: 1_000_000, Instret: 500_000, Wall: 200 * time.Millisecond})
+	s.Add(Run{Simulator: "rcpn", Workload: "go", Cycles: 2_000_000, Instret: 1_000_000, Wall: 400 * time.Millisecond})
+	return s
+}
+
+func TestRunMetrics(t *testing.T) {
+	r := Run{Cycles: 3_000_000, Instret: 1_500_000, Wall: time.Second}
+	if r.CPI() != 2.0 {
+		t.Errorf("CPI = %f", r.CPI())
+	}
+	if r.MCyclesPerSec() != 3.0 {
+		t.Errorf("MCPS = %f", r.MCyclesPerSec())
+	}
+	zero := Run{}
+	if zero.CPI() != 0 || zero.MCyclesPerSec() != 0 {
+		t.Error("zero run should yield zero metrics")
+	}
+}
+
+func TestSetOrderingAndLookup(t *testing.T) {
+	s := sample()
+	if sims := s.Simulators(); len(sims) != 2 || sims[0] != "ssim" || sims[1] != "rcpn" {
+		t.Errorf("simulators: %v", sims)
+	}
+	if works := s.Workloads(); len(works) != 2 || works[0] != "crc" {
+		t.Errorf("workloads: %v", works)
+	}
+	if _, ok := s.Get("rcpn", "crc"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := s.Get("rcpn", "nope"); ok {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestTableAndAverages(t *testing.T) {
+	s := sample()
+	tab := s.Table("Simulation performance", "Mcycles/s", MetricMCPS, 1)
+	for _, want := range []string{"crc", "go", "Average", "ssim", "rcpn", "5.0", "0.5"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	if avg := s.Average("ssim", MetricMCPS); avg != 0.5 {
+		t.Errorf("ssim average MCPS = %f", avg)
+	}
+	if avg := s.Average("rcpn", MetricMCPS); avg != 5.0 {
+		t.Errorf("rcpn average MCPS = %f", avg)
+	}
+	if s.Average("none", MetricCPI) != 0 {
+		t.Error("missing simulator should average 0")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "simulator,workload") {
+		t.Errorf("header: %s", lines[0])
+	}
+	// Sorted: rcpn rows before ssim rows.
+	if !strings.HasPrefix(lines[1], "rcpn,crc") {
+		t.Errorf("sorting: %s", lines[1])
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import "fmt"
+
+// adpcmSource is the MediaBench adpcm (rawcaudio) kernel: an IMA ADPCM
+// encoder with the standard 89-entry step-size table, fed by a bounded
+// pseudo-random walk standing in for a PCM waveform. The loop body is
+// table lookups, clamping ladders and sign-dependent branches.
+func adpcmSource(scale int) string {
+	samples := 2048 * scale
+	return fmt.Sprintf(`
+; adpcm kernel (MediaBench adpcm) — IMA ADPCM encode of %[1]d samples
+;
+; register map:
+;   r4 = sample  r5 = predictor (valpred)  r6 = index  r7 = step
+;   r8 = LCG state  r9 = loop count  r10 = checksum  r11 = steptab base
+_start:
+	mov r5, #0
+	mov r6, #0
+	ldr r8, =0x2468ace0
+	ldr r9, =%[1]d
+	mov r10, #0
+	ldr r11, =steptab
+	mov r4, #0               ; waveform state (random walk)
+sample_loop:
+	; next input sample: bounded random walk, +-31 per step
+	ldr r0, =1664525
+	ldr r1, =1013904223
+	mla r8, r8, r0, r1
+	mov r0, r8, lsr #26      ; 0..63
+	sub r0, r0, #32          ; -32..31
+	add r4, r4, r0
+	; clamp sample to [-2048, 2047]
+	ldr r0, =2047
+	cmp r4, r0
+	movgt r4, r0
+	ldr r0, =-2048
+	cmp r4, r0
+	movlt r4, r0
+
+	; diff = sample - valpred; sign bit in r3 (8 = negative)
+	subs r1, r4, r5
+	mov r3, #0
+	rsblt r1, r1, #0         ; diff = abs(diff)
+	movlt r3, #8
+
+	; step = steptab[index]
+	ldr r7, [r11, r6, lsl #2]
+
+	; quantize diff against step: delta bits 2..0
+	mov r2, #0               ; delta
+	cmp r1, r7
+	orrge r2, r2, #4
+	subge r1, r1, r7
+	mov r0, r7, lsr #1
+	cmp r1, r0
+	orrge r2, r2, #2
+	subge r1, r1, r0
+	mov r0, r7, lsr #2
+	cmp r1, r0
+	orrge r2, r2, #1
+
+	; vpdiff = step>>3 + step terms mirroring the decoder
+	mov r0, r7, lsr #3
+	tst r2, #4
+	addne r0, r0, r7
+	tst r2, #2
+	addne r0, r0, r7, lsr #1
+	tst r2, #1
+	addne r0, r0, r7, lsr #2
+
+	; predictor update with clamp
+	tst r3, #8
+	subne r5, r5, r0
+	addeq r5, r5, r0
+	ldr r0, =2047
+	cmp r5, r0
+	movgt r5, r0
+	ldr r0, =-2048
+	cmp r5, r0
+	movlt r5, r0
+
+	; index update with clamp to [0, 88]
+	orr r2, r2, r3           ; 4-bit code incl. sign
+	ldr r0, =indextab
+	and r1, r2, #7
+	ldr r1, [r0, r1, lsl #2]
+	add r6, r6, r1
+	cmp r6, #0
+	movlt r6, #0
+	cmp r6, #88
+	movgt r6, #88
+
+	; checksum = checksum*31 + code
+	mov r0, r10, lsl #5
+	sub r10, r0, r10
+	add r10, r10, r2
+
+	subs r9, r9, #1
+	bne sample_loop
+
+	mov r0, r10
+	swi #1
+	mov r0, r5               ; final predictor state
+	swi #1
+	mov r0, #0
+	swi #0
+	.ltorg
+	.align
+indextab:
+	.word -1, -1, -1, -1, 2, 4, 6, 8
+steptab:
+	.word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+	.word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+	.word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+	.word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+	.word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+	.word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+	.word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+	.word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+	.word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+`, samples)
+}

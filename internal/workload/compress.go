@@ -1,0 +1,127 @@
+package workload
+
+import "fmt"
+
+// compressSource is the SPEC95 129.compress kernel: LZW compression with an
+// open-addressed hash table (hash, probe, secondary displacement, table
+// reset when full) over skewed pseudo-text, which is where compress spends
+// its time. Emits the accumulated code stream hash and the code count.
+func compressSource(scale int) string {
+	input := 3072 * scale
+	return fmt.Sprintf(`
+; compress kernel (SPEC95 129.compress) — LZW over %[1]d bytes of pseudo-text
+;
+; table: 1024 entries, key[i] at htab, code[i] at ctab. key -1 = empty.
+; register map in the main loop:
+;   r4 = input ptr  r5 = remaining  r6 = ent  r7 = next free code
+;   r8 = out hash   r9 = code count r10 = htab  r11 = ctab
+_start:
+	; synthesize skewed text: 16-symbol alphabet indexed by LCG high bits
+	ldr r0, =input
+	ldr r1, =%[1]d
+	ldr r2, =0xfeedbeef
+	ldr r3, =1664525
+	ldr r12, =1013904223
+	ldr r6, =alphabet
+gen:
+	mla r2, r2, r3, r12
+	mov r5, r2, lsr #28        ; 0..15
+	ldrb r5, [r6, r5]
+	strb r5, [r0], #1
+	subs r1, r1, #1
+	bne gen
+
+	bl clear_table
+
+	ldr r4, =input
+	ldr r5, =%[1]d
+	ldr r10, =htab
+	ldr r11, =ctab
+	mov r8, #0
+	mov r9, #0
+	ldr r7, =256               ; first multi-char code
+	ldrb r6, [r4], #1          ; ent = first symbol
+	sub r5, r5, #1
+main_loop:
+	ldrb r0, [r4], #1          ; c
+	; fcode = (c << 16) | ent
+	orr r1, r6, r0, lsl #16
+	; h = (fcode ^ (fcode >> 9) ^ (fcode >> 16)) & 1023
+	eor r2, r1, r1, lsr #9
+	eor r2, r2, r1, lsr #16
+	ldr r3, =1023
+	and r2, r2, r3
+probe:
+	ldr r12, [r10, r2, lsl #2] ; key[h]
+	cmn r12, #1                ; empty? (key == -1)
+	beq miss
+	cmp r12, r1
+	beq hit
+	add r2, r2, #1             ; linear displacement
+	and r2, r2, r3
+	b probe
+hit:
+	ldr r6, [r11, r2, lsl #2]  ; ent = code[h]
+	b next
+miss:
+	; emit ent: out = out*31 + ent ; count++
+	mov r12, r8, lsl #5
+	sub r8, r12, r8
+	add r8, r8, r6
+	add r9, r9, #1
+	; insert fcode -> nextcode
+	str r1, [r10, r2, lsl #2]
+	str r7, [r11, r2, lsl #2]
+	add r7, r7, #1
+	mov r6, r0                 ; ent = c
+	; table full? reset like compress does (block compress mode)
+	ldr r12, =1000
+	cmp r7, r12
+	blge reset_table
+next:
+	subs r5, r5, #1
+	bne main_loop
+
+	; emit final ent
+	mov r12, r8, lsl #5
+	sub r8, r12, r8
+	add r8, r8, r6
+	add r9, r9, #1
+
+	mov r0, r8
+	swi #1
+	mov r0, r9
+	swi #1
+	mov r0, #0
+	swi #0
+
+; ---- helpers -------------------------------------------------------------
+reset_table:
+	push {r0-r3, lr}
+	bl clear_table
+	ldr r7, =256
+	pop {r0-r3, pc}
+
+clear_table:
+	ldr r0, =htab
+	ldr r1, =htab+4096
+	mvn r2, #0
+	mvn r3, #0
+clear_loop:
+	stmia r0!, {r2, r3}
+	cmp r0, r1
+	blo clear_loop
+	mov pc, lr
+	.ltorg
+	.align
+alphabet:
+	.asciz "etaoin shrdlucm"
+	.align
+htab:
+	.space 4096
+ctab:
+	.space 4096
+input:
+	.space %[1]d
+`, input)
+}

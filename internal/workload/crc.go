@@ -1,0 +1,51 @@
+package workload
+
+import "fmt"
+
+// crcSource is the MiBench crc32 kernel: a bit-serial CRC-32 (polynomial
+// 0xEDB88320) over an LCG-generated buffer. The inner loop is the classic
+// shift/conditional-xor pair — a dense stream of flag-setting shifts and
+// conditionally executed instructions.
+func crcSource(scale int) string {
+	size := 2048 * scale
+	return fmt.Sprintf(`
+; crc32 kernel (MiBench crc) — bit-serial CRC over %[1]d bytes
+_start:
+	ldr r0, =buf
+	ldr r1, =%[1]d
+	ldr r2, =0x12345678      ; LCG seed
+	ldr r3, =1664525
+	ldr r4, =1013904223
+gen:
+	mla r2, r2, r3, r4       ; x = x*1664525 + 1013904223
+	mov r5, r2, lsr #24
+	strb r5, [r0], #1
+	subs r1, r1, #1
+	bne gen
+
+	ldr r0, =buf
+	ldr r1, =%[1]d
+	mvn r2, #0               ; crc = 0xffffffff
+	ldr r6, =0xEDB88320
+byteloop:
+	ldrb r3, [r0], #1
+	eor r2, r2, r3
+	mov r4, #8
+bitloop:
+	movs r2, r2, lsr #1      ; C := bit shifted out
+	eorcs r2, r2, r6
+	subs r4, r4, #1
+	bne bitloop
+	subs r1, r1, #1
+	bne byteloop
+
+	mvn r0, r2               ; final CRC
+	swi #1
+	mov r0, #0
+	swi #0
+	.ltorg
+	.align
+buf:
+	.space %[1]d
+`, size)
+}

@@ -1,0 +1,201 @@
+package workload
+
+import "fmt"
+
+// Extra returns additional kernels beyond the paper's six. They are not
+// part of the Figure 10/11 reproduction; they exist to exercise the wider
+// ARM7 subset (halfword transfers, long multiplies) on realistic loops and
+// are cross-checked across all simulators like the main suite.
+func Extra() []*Workload {
+	return []*Workload{
+		{Name: "fir16", Suite: "extra", source: fir16Source},
+		{Name: "sha", Suite: "extra", source: shaSource},
+	}
+}
+
+// AllWithExtra returns the paper's six kernels plus the extras.
+func AllWithExtra() []*Workload {
+	return append(All(), Extra()...)
+}
+
+// fir16Source is a 16-bit FIR filter: samples and coefficients live in
+// memory as halfwords (LDRSH), the dot product accumulates into a 64-bit
+// pair with SMLAL, and the output stream is written back with STRH — the
+// DSP inner loop shape the XScale MAC unit exists for.
+func fir16Source(scale int) string {
+	samples := 1024 * scale
+	return fmt.Sprintf(`
+; fir16 kernel (extra) — 8-tap FIR over %[1]d int16 samples using
+; LDRSH/STRH and SMLAL 64-bit accumulation.
+_start:
+	; synthesize int16 input samples via LCG
+	ldr r0, =input
+	ldr r1, =%[1]d
+	ldr r2, =0x0bad5eed
+	ldr r3, =1664525
+	ldr r12, =1013904223
+gen:
+	mla r2, r2, r3, r12
+	mov r4, r2, lsr #17      ; 15-bit magnitude
+	strh r4, [r0], #2
+	subs r1, r1, #1
+	bne gen
+
+	ldr r8, =%[1]d-8         ; output count
+	ldr r9, =input
+	ldr r10, =output
+	mov r11, #0              ; output checksum
+outer:
+	; 64-bit acc = sum taps
+	mov r4, #0               ; accLo
+	mov r5, #0               ; accHi
+	ldr r6, =coeffs
+	mov r7, #8               ; taps
+	mov r12, r9
+tap:
+	ldrsh r0, [r12], #2
+	ldrsh r1, [r6], #2
+	smlal r4, r5, r0, r1
+	subs r7, r7, #1
+	bne tap
+	; scale down and emit one output sample
+	mov r0, r4, lsr #8
+	orr r0, r0, r5, lsl #24
+	strh r0, [r10], #2
+	; fold into checksum: cs = cs*31 + (out & 0xffff)
+	mov r1, r11, lsl #5
+	sub r11, r1, r11
+	ldr r1, =0xffff
+	and r0, r0, r1
+	add r11, r11, r0
+	add r9, r9, #2           ; slide window
+	subs r8, r8, #1
+	bne outer
+
+	mov r0, r11
+	swi #1
+	mov r0, #0
+	swi #0
+	.ltorg
+	.align
+coeffs:
+	.word 0x00030001, 0xfffB0007, 0x0011fff1, 0x00050002 ; int16 pairs
+input:
+	.space %[2]d
+output:
+	.space %[2]d
+`, samples, 2*samples+16)
+}
+
+// shaSource is a MiBench sha-like kernel: the SHA-1 message schedule and
+// round function — rotate-heavy word shuffling over an 80-entry expansion,
+// the other common embedded-benchmark shape (bitwise/rotates, no memory
+// pressure).
+func shaSource(scale int) string {
+	blocks := 48 * scale
+	return fmt.Sprintf(`
+; sha kernel (extra) — SHA-1-style rounds over %[1]d blocks
+;
+; registers: r4-r8 = a..e working state, r9 = block counter
+; w[80] schedule in memory, seeded from the LCG per block.
+_start:
+	ldr r9, =%[1]d
+	ldr r0, =0x67452301
+	ldr r1, =0xEFCDAB89
+	mov r4, r0               ; a
+	mov r5, r1               ; b
+	ldr r6, =0x98BADCFE      ; c
+	ldr r7, =0x10325476      ; d
+	ldr r8, =0xC3D2E1F0      ; e
+	ldr r10, =0x5eed1357     ; LCG state
+block_loop:
+	; fill w[0..15] from the LCG
+	ldr r0, =w
+	mov r1, #16
+	ldr r2, =1664525
+	ldr r3, =1013904223
+fill:
+	mla r10, r10, r2, r3
+	str r10, [r0], #4
+	subs r1, r1, #1
+	bne fill
+	; expand w[16..79]: w[i] = rol1(w[i-3]^w[i-8]^w[i-14]^w[i-16])
+	ldr r0, =w+64            ; &w[16]
+	ldr r1, =w+320           ; &w[80]
+expand:
+	ldr r2, [r0, #-12]
+	ldr r3, [r0, #-32]
+	eor r2, r2, r3
+	ldr r3, [r0, #-56]
+	eor r2, r2, r3
+	ldr r3, [r0, #-64]
+	eor r2, r2, r3
+	mov r2, r2, ror #31      ; rotate left 1
+	str r2, [r0], #4
+	cmp r0, r1
+	blo expand
+	; 80 rounds; f switches by round quarter
+	ldr r0, =w
+	mov r1, #0               ; round
+round_loop:
+	cmp r1, #20
+	blt f_ch
+	cmp r1, #40
+	blt f_par
+	cmp r1, #60
+	blt f_maj
+	; parity again, K4
+	eor r2, r5, r6
+	eor r2, r2, r7
+	ldr r3, =0xCA62C1D6
+	b round_body
+f_ch:
+	and r2, r5, r6
+	bic r3, r7, r5
+	orr r2, r2, r3
+	ldr r3, =0x5A827999
+	b round_body
+f_par:
+	eor r2, r5, r6
+	eor r2, r2, r7
+	ldr r3, =0x6ED9EBA1
+	b round_body
+f_maj:
+	and r2, r5, r6
+	and r12, r5, r7
+	orr r2, r2, r12
+	and r12, r6, r7
+	orr r2, r2, r12
+	ldr r3, =0x8F1BBCDC
+round_body:
+	; tmp = rol5(a) + f + e + k + w[i]
+	add r2, r2, r8
+	add r2, r2, r3
+	ldr r3, [r0], #4
+	add r2, r2, r3
+	add r2, r2, r4, ror #27  ; rol5(a)
+	mov r8, r7               ; e = d
+	mov r7, r6               ; d = c
+	mov r6, r5, ror #2       ; c = rol30(b)
+	mov r5, r4               ; b = a
+	mov r4, r2               ; a = tmp
+	add r1, r1, #1
+	cmp r1, #80
+	blt round_loop
+	subs r9, r9, #1
+	bne block_loop
+
+	mov r0, r4
+	swi #1
+	eor r0, r5, r6
+	eor r0, r0, r7
+	eor r0, r0, r8
+	swi #1
+	mov r0, #0
+	swi #0
+	.ltorg
+	.align
+w:
+	.space 320
+`, blocks)
+}

@@ -1,0 +1,138 @@
+package workload
+
+import "fmt"
+
+// g721Source is the MediaBench g721 kernel: the ADPCM predictor/quantizer
+// arithmetic that dominates g721 encode — a six-tap adaptive FIR predictor
+// updated with sign-LMS steps, plus a compare-ladder log2 quantizer. The
+// loop is multiply/accumulate heavy (six MLAs for the prediction and six
+// MULs for the update per sample), matching the benchmark's character.
+func g721Source(scale int) string {
+	samples := 1024 * scale
+	return fmt.Sprintf(`
+; g721 kernel (MediaBench g721) — %[1]d samples through a 6-tap adaptive
+; predictor with sign-LMS coefficient update and a 4-bit log quantizer.
+;
+; memory: w[6] coefficients (Q12), x[6] delay line
+; registers: r4 = sample  r5 = LCG  r6 = loop  r8 = checksum
+_start:
+	ldr r5, =0x13579bdf
+	ldr r6, =%[1]d
+	mov r8, #0
+	mov r4, #0
+sample_loop:
+	; input: bounded random walk
+	ldr r0, =1664525
+	ldr r1, =1013904223
+	mla r5, r5, r0, r1
+	mov r0, r5, lsr #25       ; 0..127
+	sub r0, r0, #64
+	add r4, r4, r0
+	ldr r0, =8191
+	cmp r4, r0
+	movgt r4, r0
+	ldr r0, =-8192
+	cmp r4, r0
+	movlt r4, r0
+
+	; prediction = (sum w[i]*x[i]) >> 12
+	ldr r9, =wtab
+	ldr r10, =xtab
+	mov r0, #0
+	ldr r1, [r9]
+	ldr r2, [r10]
+	mla r0, r1, r2, r0
+	ldr r1, [r9, #4]
+	ldr r2, [r10, #4]
+	mla r0, r1, r2, r0
+	ldr r1, [r9, #8]
+	ldr r2, [r10, #8]
+	mla r0, r1, r2, r0
+	ldr r1, [r9, #12]
+	ldr r2, [r10, #12]
+	mla r0, r1, r2, r0
+	ldr r1, [r9, #16]
+	ldr r2, [r10, #16]
+	mla r0, r1, r2, r0
+	ldr r1, [r9, #20]
+	ldr r2, [r10, #20]
+	mla r0, r1, r2, r0
+	mov r0, r0, asr #12       ; prediction
+
+	; err = sample - prediction; sign in r12
+	subs r1, r4, r0
+	mov r12, #0
+	rsblt r1, r1, #0
+	movlt r12, #8
+
+	; 3-bit magnitude via compare ladder (log-ish quantizer)
+	mov r2, #0
+	cmp r1, #16
+	movge r2, #1
+	cmp r1, #64
+	movge r2, #2
+	cmp r1, #256
+	movge r2, #3
+	cmp r1, #1024
+	movge r2, #4
+	ldr r0, =4096
+	cmp r1, r0
+	movge r2, #5
+	orr r2, r2, r12           ; 4-bit code
+
+	; sign-LMS update: w[i] += sign(err) * (x[i] >> 4)
+	ldr r9, =wtab
+	ldr r10, =xtab
+	mov r3, #6
+update_loop:
+	ldr r0, [r10], #4
+	mov r0, r0, asr #4
+	tst r12, #8
+	rsbne r0, r0, #0
+	ldr r1, [r9]
+	add r1, r1, r0
+	str r1, [r9], #4
+	subs r3, r3, #1
+	bne update_loop
+
+	; shift delay line: x[5..1] = x[4..0]; x[0] = err (reconstructed-ish)
+	ldr r9, =xtab
+	ldr r0, [r9]
+	ldr r1, [r9, #4]
+	ldr r2, [r9, #8]
+	ldr r3, [r9, #12]
+	ldr r10, [r9, #16]
+	str r0, [r9, #4]
+	str r1, [r9, #8]
+	str r2, [r9, #12]
+	str r3, [r9, #16]
+	str r10, [r9, #20]
+	tst r12, #8
+	rsbne r1, r1, #0          ; scratch
+	str r4, [r9]              ; x[0] = sample
+
+	; checksum = checksum*31 + code
+	mov r0, r8, lsl #5
+	sub r8, r0, r8
+	add r8, r8, r2
+
+	subs r6, r6, #1
+	bne sample_loop
+
+	mov r0, r8
+	swi #1
+	ldr r9, =wtab             ; fold final coefficients in
+	ldr r0, [r9]
+	ldr r1, [r9, #20]
+	eor r0, r0, r1
+	swi #1
+	mov r0, #0
+	swi #0
+	.ltorg
+	.align
+wtab:
+	.word 0, 0, 0, 0, 0, 0
+xtab:
+	.word 0, 0, 0, 0, 0, 0
+`, samples)
+}

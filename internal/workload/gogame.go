@@ -1,0 +1,181 @@
+package workload
+
+import "fmt"
+
+// goSource is the SPEC95 099.go kernel: the branch-dominated board
+// evaluation that characterizes go — pseudo-random play on a 19x19 board
+// (21x21 with sentinel border), per-move neighbor inspection with deeply
+// nested data-dependent branches, capture-style clearing, and periodic
+// whole-board evaluation scans.
+func goSource(scale int) string {
+	moves := 3000 * scale
+	return fmt.Sprintf(`
+; go kernel (SPEC95 099.go) — %[1]d pseudo-random moves on a 19x19 board
+;
+; board: 21x21 bytes; 0 empty, 1 black, 2 white, 3 border sentinel
+; registers: r4 = board  r5 = LCG  r6 = moves left  r7 = score
+;            r8 = side to move (1/2)  r9 = eval interval counter
+_start:
+	; draw the border sentinels
+	ldr r4, =board
+	mov r0, #0
+	mov r1, #3
+border_top:
+	strb r1, [r4, r0]
+	add r0, r0, #1
+	cmp r0, #21
+	blt border_top
+	ldr r0, =420              ; last row offset
+	mov r2, #0
+border_bot:
+	add r3, r0, r2
+	strb r1, [r4, r3]
+	add r2, r2, #1
+	cmp r2, #21
+	blt border_bot
+	mov r0, #21
+border_sides:
+	strb r1, [r4, r0]
+	add r2, r0, #20
+	strb r1, [r4, r2]
+	add r0, r0, #21
+	ldr r2, =420
+	cmp r0, r2
+	blt border_sides
+
+	ldr r5, =0xcafef00d
+	ldr r6, =%[1]d
+	mov r7, #0
+	mov r8, #1
+	mov r9, #0
+move_loop:
+	; pick a cell: pos = 22 + ((lcg>>12 & 0xffff) * 377) >> 16  (0..376 interior-ish)
+	ldr r0, =1664525
+	ldr r1, =1013904223
+	mla r5, r5, r0, r1
+	mov r0, r5, lsr #12
+	ldr r1, =0xffff
+	and r0, r0, r1
+	ldr r1, =377
+	mul r0, r0, r1
+	mov r0, r0, lsr #16
+	add r0, r0, #22           ; skip first row + col
+
+	ldrb r1, [r4, r0]         ; cell
+	cmp r1, #0
+	bne occupied
+
+	; empty: count empty/own/enemy neighbors (N,S,E,W)
+	mov r2, #0                ; liberties
+	mov r3, #0                ; own neighbors
+	sub r12, r0, #21          ; north
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	cmp r12, r8
+	addeq r3, r3, #1
+	add r12, r0, #21          ; south
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	cmp r12, r8
+	addeq r3, r3, #1
+	sub r12, r0, #1           ; west
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	cmp r12, r8
+	addeq r3, r3, #1
+	add r12, r0, #1           ; east
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	cmp r12, r8
+	addeq r3, r3, #1
+
+	; play only if the stone has a liberty or a friendly neighbor
+	cmp r2, #0
+	beq maybe_connect
+	strb r8, [r4, r0]
+	add r7, r7, r2            ; score by liberties
+	eor r8, r8, #3            ; switch side (1 <-> 2)
+	b after_move
+maybe_connect:
+	cmp r3, #2
+	blt after_move            ; suicide-ish: skip
+	strb r8, [r4, r0]
+	add r7, r7, #1
+	eor r8, r8, #3
+	b after_move
+
+occupied:
+	; capture check: remove the stone if it has no empty neighbor
+	mov r2, #0
+	sub r12, r0, #21
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	add r12, r0, #21
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	sub r12, r0, #1
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	add r12, r0, #1
+	ldrb r12, [r4, r12]
+	cmp r12, #0
+	addeq r2, r2, #1
+	cmp r2, #0
+	bne after_move
+	mov r2, #0
+	strb r2, [r4, r0]         ; captured
+	sub r7, r7, #2
+
+after_move:
+	; every 64 moves, evaluate the whole board
+	add r9, r9, #1
+	tst r9, #63
+	bne no_eval
+	mov r0, #22
+	ldr r1, =419
+	mov r2, #0                ; black count
+	mov r3, #0                ; white count
+eval_loop:
+	ldrb r12, [r4, r0]
+	cmp r12, #1
+	addeq r2, r2, #1
+	cmp r12, #2
+	addeq r3, r3, #1
+	add r0, r0, #1
+	cmp r0, r1
+	blt eval_loop
+	sub r12, r2, r3
+	add r7, r7, r12
+no_eval:
+	subs r6, r6, #1
+	bne move_loop
+
+	mov r0, r7
+	swi #1
+	; fold the final board state into a second checksum
+	mov r0, #0
+	mov r1, #0
+	ldr r2, =441
+fold_loop:
+	ldrb r3, [r4, r1]
+	add r0, r3, r0, lsl #1
+	eor r0, r0, r0, lsr #16
+	add r1, r1, #1
+	cmp r1, r2
+	blt fold_loop
+	swi #1
+	mov r0, #0
+	swi #0
+	.ltorg
+	.align
+board:
+	.space 441
+`, moves)
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "testing"
+
+// Golden checksums for every kernel at scale 1, produced by the ISS and
+// agreed on by all five simulators (cross-checked elsewhere). Pinning them
+// here turns any accidental edit to a kernel or to the shared ISA
+// semantics into a visible diff instead of a silent drift of the whole
+// consistent system.
+var golden = map[string][]uint32{
+	"adpcm":    {0xb30ee5f8, 0xfffffb7e},
+	"blowfish": {0x76282996, 0xa77a09b0},
+	"compress": {0x56d880e9, 0x72e},
+	"crc":      {0xcb4be311},
+	"g721":     {0xc423058d, 0x60a},
+	"go":       {0x111, 0xbffe94},
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := golden[w.Name]
+			if !ok {
+				t.Fatalf("no golden entry for %s", w.Name)
+			}
+			c := runISS(t, w, 1)
+			if len(c.Output) != len(want) {
+				t.Fatalf("emitted %d checksums, golden has %d", len(c.Output), len(want))
+			}
+			for i := range want {
+				if c.Output[i] != want[i] {
+					t.Errorf("checksum[%d] = %#x, golden %#x — kernel or ISA semantics changed",
+						i, c.Output[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// The extras are pinned separately so extending the main suite never
+// silently alters them either.
+var goldenExtra = map[string][]uint32{
+	"fir16": {0x5b77f636},
+	"sha":   {0x45fe0648, 0xa27f6725},
+}
+
+func TestGoldenExtraChecksums(t *testing.T) {
+	for _, w := range Extra() {
+		want, ok := goldenExtra[w.Name]
+		if !ok {
+			t.Fatalf("no golden entry for extra kernel %s", w.Name)
+		}
+		c := runISS(t, w, 1)
+		if len(c.Output) != len(want) {
+			t.Fatalf("%s emitted %d checksums, golden has %d", w.Name, len(c.Output), len(want))
+		}
+		for i := range want {
+			if c.Output[i] != want[i] {
+				t.Errorf("%s checksum[%d] = %#x, golden %#x", w.Name, i, c.Output[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/ssim"
+)
+
+// runISS executes a workload on the golden-model ISS.
+func runISS(t *testing.T, w *Workload, scale int) *iss.CPU {
+	t.Helper()
+	p, err := w.Program(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := iss.New(p, 0)
+	c.MaxInstrs = 200_000_000
+	if err := c.Run(); err != nil {
+		t.Fatalf("%s: iss: %v", w.Name, err)
+	}
+	return c
+}
+
+func TestAllKernelsAssembleAndTerminate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c := runISS(t, w, 1)
+			if len(c.Output) == 0 {
+				t.Fatalf("%s emitted no checksums", w.Name)
+			}
+			if c.Instret < 50_000 {
+				t.Errorf("%s only %d dynamic instructions; too small to be a benchmark", w.Name, c.Instret)
+			}
+			t.Logf("%s: %d instructions, checksums %#x", w.Name, c.Instret, c.Output)
+		})
+	}
+}
+
+func TestKernelsScale(t *testing.T) {
+	// Doubling the scale should (at least) nearly double the work and
+	// change or keep checksums deterministically — run twice to confirm
+	// determinism.
+	w := ByName("crc")
+	a := runISS(t, w, 1)
+	b := runISS(t, w, 2)
+	if b.Instret < a.Instret*3/2 {
+		t.Errorf("scale 2 ran %d instructions vs %d at scale 1", b.Instret, a.Instret)
+	}
+	a2 := runISS(t, w, 1)
+	if a2.Output[0] != a.Output[0] {
+		t.Errorf("nondeterministic checksum: %#x vs %#x", a2.Output[0], a.Output[0])
+	}
+}
+
+// TestCrossSimulatorAgreement is the central integration test of the whole
+// repository: every kernel must produce identical architected results on
+// the ISS golden model, the RCPN StrongARM model, the RCPN XScale model and
+// the SimpleScalar-like baseline.
+func TestCrossSimulatorAgreement(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := runISS(t, w, 1)
+
+			check := func(name string, output []uint32, text []byte, exit uint32, instret uint64) {
+				if exit != golden.Exit {
+					t.Errorf("%s: exit %d, iss %d", name, exit, golden.Exit)
+				}
+				if len(output) != len(golden.Output) {
+					t.Fatalf("%s: output %v, iss %v", name, output, golden.Output)
+				}
+				for i := range output {
+					if output[i] != golden.Output[i] {
+						t.Errorf("%s: output[%d] = %#x, iss %#x", name, i, output[i], golden.Output[i])
+					}
+				}
+				if string(text) != string(golden.Text) {
+					t.Errorf("%s: text mismatch", name)
+				}
+				if instret != golden.Instret {
+					t.Errorf("%s: instret %d, iss %d", name, instret, golden.Instret)
+				}
+			}
+
+			sa := machine.NewStrongARM(p, machine.Config{})
+			if err := sa.Run(0); err != nil {
+				t.Fatalf("strongarm: %v", err)
+			}
+			check("strongarm", sa.Output, sa.Text, sa.ExitCode, sa.Instret)
+
+			xs := machine.NewXScale(p, machine.Config{})
+			if err := xs.Run(0); err != nil {
+				t.Fatalf("xscale: %v", err)
+			}
+			check("xscale", xs.Output, xs.Text, xs.ExitCode, xs.Instret)
+
+			hp := pipe5.New(p, pipe5.Config{})
+			if err := hp.Run(0); err != nil {
+				t.Fatalf("pipe5: %v", err)
+			}
+			check("pipe5", hp.Output, hp.Text, hp.ExitCode, hp.Instret)
+
+			bs := ssim.New(p, ssim.Config{})
+			if err := bs.Run(0); err != nil {
+				t.Fatalf("ssim: %v", err)
+			}
+			check("ssim", bs.Output(), bs.Text(), bs.ExitCode(), bs.Instret)
+
+			fn := machine.NewFunctional(p, machine.Config{})
+			if err := fn.RunFunctional(0); err != nil {
+				t.Fatalf("functional: %v", err)
+			}
+			check("functional", fn.Output, fn.Text, fn.ExitCode, fn.Instret)
+
+			// Figure 11 sanity: the CPI-comparable simulators (all modeling
+			// a StrongARM-class machine) are in the same regime — the paper
+			// reports ~10% difference; we allow a generous envelope, the
+			// shape being "close, not equal".
+			saCPI, hpCPI, bsCPI := sa.CPI(), hp.CPI(), bs.CPI()
+			if saCPI <= 0 || hpCPI <= 0 || bsCPI <= 0 {
+				t.Fatalf("missing CPI: sa=%.2f pipe5=%.2f ssim=%.2f", saCPI, hpCPI, bsCPI)
+			}
+			for name, cpi := range map[string]float64{"pipe5": hpCPI, "ssim": bsCPI} {
+				ratio := saCPI / cpi
+				if ratio < 0.5 || ratio > 2.0 {
+					t.Errorf("CPI divergence: strongarm %.3f vs %s %.3f", saCPI, name, cpi)
+				}
+			}
+			t.Logf("%s: CPI strongarm=%.3f xscale=%.3f pipe5=%.3f ssim=%.3f (%d instrs)",
+				w.Name, saCPI, xs.CPI(), hpCPI, bsCPI, golden.Instret)
+		})
+	}
+}
+
+// TestExtraKernels cross-checks the extended-ISA kernels (halfwords, long
+// multiplies) across the RCPN models and the baseline.
+func TestExtraKernels(t *testing.T) {
+	for _, w := range Extra() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := runISS(t, w, 1)
+			if len(golden.Output) == 0 || golden.Instret < 50_000 {
+				t.Fatalf("%s too small: %d instrs, output %v", w.Name, golden.Instret, golden.Output)
+			}
+
+			sa := machine.NewStrongARM(p, machine.Config{})
+			if err := sa.Run(0); err != nil {
+				t.Fatalf("strongarm: %v", err)
+			}
+			xs := machine.NewXScale(p, machine.Config{})
+			if err := xs.Run(0); err != nil {
+				t.Fatalf("xscale: %v", err)
+			}
+			bs := ssim.New(p, ssim.Config{})
+			if err := bs.Run(0); err != nil {
+				t.Fatalf("ssim: %v", err)
+			}
+			for i := range golden.Output {
+				if sa.Output[i] != golden.Output[i] || xs.Output[i] != golden.Output[i] ||
+					bs.Output()[i] != golden.Output[i] {
+					t.Fatalf("output[%d] mismatch: iss %#x sa %#x xs %#x ssim %#x",
+						i, golden.Output[i], sa.Output[i], xs.Output[i], bs.Output()[i])
+				}
+			}
+			if sa.Instret != golden.Instret || xs.Instret != golden.Instret || bs.Instret != golden.Instret {
+				t.Fatalf("instret mismatch: iss %d sa %d xs %d ssim %d",
+					golden.Instret, sa.Instret, xs.Instret, bs.Instret)
+			}
+			t.Logf("%s: %d instrs, CPI sa=%.2f xs=%.2f ssim=%.2f",
+				w.Name, golden.Instret, sa.CPI(), xs.CPI(), bs.CPI())
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("crc") == nil || ByName("nope") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+	if len(All()) != 6 {
+		t.Fatalf("expected the paper's six kernels, got %d", len(All()))
+	}
+}
+
+func TestSourcesAssembleAtScales(t *testing.T) {
+	for _, w := range All() {
+		for _, scale := range []int{1, 2, 4} {
+			if _, err := arm.Assemble(w.Source(scale), 0x8000); err != nil {
+				t.Errorf("%s scale %d: %v", w.Name, scale, err)
+			}
+		}
+	}
+}
