@@ -168,10 +168,13 @@ func fig11(set *stats.Set, scale int) {
 	}
 }
 
-// ablation quantifies the §4/§5 optimizations: the sorted-transitions table
-// (Fig. 6), the reverse-topological order avoiding the two-list algorithm
-// (Fig. 8), the decoded-token cache, and the RCPN engine vs a naive CPN
-// simulation of the converted net.
+// ablation quantifies the §4/§5 optimizations: the active-place worklist
+// replacing the full reverse-topological sweep, the sorted-transitions
+// table (Fig. 6), the reverse-topological order avoiding the two-list
+// algorithm (Fig. 8), the decoded-token cache, and the RCPN engine vs a
+// naive CPN simulation of the converted net. The configuration names match
+// BenchmarkAblation in bench_test.go so `go test -bench` and this command
+// report the same rows.
 func ablation(scale int) {
 	fmt.Println("Ablation — engine optimizations (RCPN-StrongARM, crc + go workloads)")
 	fmt.Println("metric: Minstr/s (host throughput per simulated instruction; the")
@@ -182,11 +185,14 @@ func ablation(scale int) {
 		name string
 		cfg  machine.Config
 	}{
-		{"full engine (paper)", machine.Config{}},
-		{"no decoded-token cache", machine.Config{NoTokenCache: true}},
-		{"dynamic transition search", machine.Config{DynamicSearch: true}},
-		{"two-list on every place", machine.Config{TwoListAll: true}},
-		{"all optimizations off", machine.Config{NoTokenCache: true, DynamicSearch: true, TwoListAll: true}},
+		{"full-engine", machine.Config{}},
+		{"activeList=off", machine.Config{NoActiveList: true}},
+		{"pool=off", machine.Config{NoTokenCache: true}},
+		{"activeList=off,pool=off", machine.Config{NoActiveList: true, NoTokenCache: true}},
+		{"dynamic-search", machine.Config{DynamicSearch: true}},
+		{"two-list-everywhere", machine.Config{TwoListAll: true}},
+		{"all-off", machine.Config{NoTokenCache: true, DynamicSearch: true,
+			TwoListAll: true, NoActiveList: true}},
 	}
 	var baseline float64
 	for i, c := range configs {
@@ -220,7 +226,7 @@ func ablation(scale int) {
 // pipelines "significantly reduce simulation performance" (§2).
 func cpnAblation() {
 	const tokens = 200_000
-	build := func() *core.Net {
+	build := func(pool *core.TokenPool) *core.Net {
 		n := core.NewNet(2)
 		l1 := n.Place("L1", n.Stage("L1", 1))
 		l2 := n.Place("L2", n.Stage("L2", 1))
@@ -232,20 +238,24 @@ func cpnAblation() {
 		n.AddSource(&core.Source{
 			Name: "U1", To: l1,
 			Guard: func() bool { return made < tokens },
-			Fire:  func() *core.Token { made++; return core.NewToken(core.ClassID(made%2), made) },
+			Fire:  func() *core.Token { made++; return pool.Get(core.ClassID(made%2), made) },
 		})
+		// Recycling retired tokens through the pool keeps the measured loop
+		// allocation-free; the CPN conversion below ignores the callback, so
+		// its side of the comparison is unaffected.
+		n.OnRetire(pool.Put)
 		n.MustBuild()
 		return n
 	}
 
-	rc := build()
+	rc := build(new(core.TokenPool))
 	start := time.Now()
 	if _, err := rc.Run(func() bool { return rc.RetiredCount >= tokens }, 10*tokens); err != nil {
 		die(err)
 	}
 	rcRate := float64(rc.CycleCount()) / time.Since(start).Seconds() / 1e6
 
-	converted, _, err := cpn.Convert(build())
+	converted, _, err := cpn.Convert(build(new(core.TokenPool)))
 	if err != nil {
 		die(err)
 	}

@@ -67,6 +67,9 @@ func (m *memory) delay(addr uint32) int64 {
 	return 1
 }
 
+// pool recycles instruction tokens between program runs.
+var pool core.TokenPool
+
 func main() {
 	gpr := reg.NewFile("R", 8)
 	regs := make([]*reg.Register, 8)
@@ -213,6 +216,9 @@ func main() {
 	})
 
 	// --- Instruction-independent sub-net: fetch --------------------------
+	// Retired tokens refill the pool buildProgram drew from (the
+	// allocation-free steady-state idiom; a no-op for this one-shot program).
+	n.OnRetire(pool.Put)
 	program := buildProgram(regs)
 	next := 0
 	n.AddSource(&core.Source{
@@ -263,7 +269,7 @@ func buildProgram(regs []*reg.Register) []*instr {
 	mul := func(a, b uint32) uint32 { return a * b }
 
 	mk := func(class core.ClassID, in *instr) *instr {
-		in.tok = core.NewToken(class, in)
+		in.tok = pool.Get(class, in)
 		return in
 	}
 	alu := func(name string, op func(a, b uint32) uint32, d int, s1 int, s2 reg.Operand) *instr {

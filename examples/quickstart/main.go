@@ -49,14 +49,18 @@ func main() {
 	})
 
 	// The instruction-independent sub-net: U1 generates instruction tokens
-	// while L1 has capacity.
+	// while L1 has capacity. Tokens come from a free-list pool refilled by
+	// the retire callback, so a long-running model allocates only as many
+	// tokens as are ever simultaneously in flight.
+	var pool core.TokenPool
+	n.OnRetire(pool.Put)
 	program := []core.ClassID{classLong, classShort, classLong, classLong, classShort}
 	next := 0
 	n.AddSource(&core.Source{
 		Name: "U1", To: l1,
 		Guard: func() bool { return next < len(program) },
 		Fire: func() *core.Token {
-			tok := core.NewToken(program[next], fmt.Sprintf("i%d", next))
+			tok := pool.Get(program[next], fmt.Sprintf("i%d", next))
 			fmt.Printf("  cycle %2d: U1 fetches i%d\n", n.CycleCount(), next)
 			next++
 			return tok
@@ -76,7 +80,8 @@ func main() {
 	if _, err := n.Run(func() bool { return n.RetiredCount == uint64(len(program)) }, 100); err != nil {
 		panic(err)
 	}
-	fmt.Printf("done: %d instructions retired in %d cycles\n", n.RetiredCount, n.CycleCount())
+	fmt.Printf("done: %d instructions retired in %d cycles (%d Token values allocated)\n",
+		n.RetiredCount, n.CycleCount(), pool.Len())
 
 	fmt.Println("\nGraphviz rendering of the model (paste into dot):")
 	fmt.Println(n.Dot([]string{"long", "short"}))

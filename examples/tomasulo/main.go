@@ -64,6 +64,9 @@ type instr struct {
 
 func (in *instr) InState(s int) bool { return in.tok.InState(s) }
 
+// pool recycles instruction tokens between program runs.
+var pool core.TokenPool
+
 func main() {
 	gpr := reg.NewFile("R", 8)
 	regs := make([]*reg.Register, 8)
@@ -143,7 +146,11 @@ func main() {
 	n.AddTransition(&core.Transition{Name: "wb.alu", Class: classALU, From: cdba, To: end, Action: wb})
 	n.AddTransition(&core.Transition{Name: "wb.mem", Class: classMEM, From: cdbm, To: end, Action: wb})
 
-	// Front end.
+	// Front end. Retired tokens go back to the free-list pool buildProgram
+	// drew them from; this toy program is built up front so nothing is
+	// recycled within one run, but the wiring is the idiom every
+	// long-running model uses to stay allocation-free.
+	n.OnRetire(pool.Put)
 	program := buildProgram(regs)
 	next := 0
 	n.AddSource(&core.Source{
@@ -181,7 +188,7 @@ func buildProgram(regs []*reg.Register) []*instr {
 	mk := func(class core.ClassID, name string, op func(a, b uint32) uint32,
 		delay int64, d, s1, s2 int) *instr {
 		in := &instr{name: name, op: op, delay: delay}
-		in.tok = core.NewToken(class, in)
+		in.tok = pool.Get(class, in)
 		in.dst = reg.NewRef(regs[d], in)
 		in.s1 = &operand{ref: reg.NewRef(regs[s1], in)}
 		in.s2 = &operand{ref: reg.NewRef(regs[s2], in)}

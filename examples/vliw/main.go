@@ -47,6 +47,9 @@ type bundle struct {
 
 func (b *bundle) InState(s int) bool { return b.tok.InState(s) }
 
+// pool recycles instruction tokens between program runs.
+var pool core.TokenPool
+
 func main() {
 	gpr := reg.NewFile("R", 8)
 	regs := make([]*reg.Register, 8)
@@ -117,6 +120,9 @@ func main() {
 	n.AddTransition(&core.Transition{Name: "wb0", Class: classBundle, From: w0, To: end, Action: wb})
 	n.AddTransition(&core.Transition{Name: "wb1", Class: classOp, From: w1, To: end, Action: wb})
 
+	// Retired tokens refill the pool buildProgram drew from (the
+	// allocation-free steady-state idiom; a no-op for this one-shot program).
+	n.OnRetire(pool.Put)
 	program := buildProgram(regs)
 	next := 0
 	n.AddSource(&core.Source{
@@ -154,7 +160,7 @@ func buildProgram(regs []*reg.Register) []*bundle {
 
 	mkOp := func(name string, fn func(a, b uint32) uint32, d, a int, b reg.Operand) *op {
 		o := &op{name: name, fn: fn}
-		o.tok = core.NewToken(classOp, o)
+		o.tok = pool.Get(classOp, o)
 		o.dst = reg.NewRef(regs[d], o)
 		o.s1 = reg.NewRef(regs[a], o)
 		o.s2 = b
@@ -162,7 +168,7 @@ func buildProgram(regs []*reg.Register) []*bundle {
 	}
 	mkBundle := func(name string, o0, o1 *op) *bundle {
 		b := &bundle{name: name, ops: [2]*op{o0, o1}}
-		b.tok = core.NewToken(classBundle, b)
+		b.tok = pool.Get(classBundle, b)
 		// The first op rides inside the bundle token.
 		o0.tok = b.tok
 		return b

@@ -244,6 +244,13 @@ func (i *Instr) LSAddress(base, rmVal uint32) (addr, wbVal uint32, writeback boo
 // and the final base value, following the ARM block-transfer rules for the
 // four IA/IB/DA/DB variants.
 func (i *Instr) LSMAddresses(base uint32) (addrs []uint32, finalBase uint32) {
+	return i.LSMAddressesInto(base, nil)
+}
+
+// LSMAddressesInto is LSMAddresses appending into buf (reused from length 0),
+// so per-instruction simulators can keep a scratch buffer and avoid the
+// allocation on every block transfer.
+func (i *Instr) LSMAddressesInto(base uint32, buf []uint32) (addrs []uint32, finalBase uint32) {
 	n := uint32(RegListCount(i.RegList))
 	var start uint32
 	switch {
@@ -260,7 +267,7 @@ func (i *Instr) LSMAddresses(base uint32) (addrs []uint32, finalBase uint32) {
 		start = base - 4*n
 		finalBase = base - 4*n
 	}
-	addrs = make([]uint32, 0, n)
+	addrs = buf[:0]
 	for k := uint32(0); k < n; k++ {
 		addrs = append(addrs, start+4*k)
 	}

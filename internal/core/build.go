@@ -36,6 +36,19 @@ func (n *Net) Build() error {
 		t.capOf = t.To.Stage
 		t.hasRes = len(t.ResIn)+len(t.ResOut) > 0
 	}
+	// Event-driven scheduling structures: each place learns its slot in the
+	// evaluation order (the active masks are indexed by it), and the wakeup
+	// wheel gets one bucket per cycle in its horizon.
+	for i, p := range n.order {
+		p.pos = i
+	}
+	words := (len(n.places) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	n.activeMask = make([]uint64, words)
+	n.nextMask = make([]uint64, words)
+	n.wheel = make([][]int32, wheelSpan)
 	n.built = true
 	return nil
 }

@@ -25,7 +25,10 @@
 // simulation (Fig. 6), per-place token processing (Fig. 7), and a main loop
 // that evaluates places in reverse topological order so that only places
 // queried through feedback paths need the two-list (master/slave) algorithm
-// (Fig. 8).
+// (Fig. 8). On top of Fig. 8 the loop is event-driven: only *active* places
+// (those holding a ready token) are visited each cycle, with delayed tokens
+// scheduled on a wakeup wheel — see engine.go; SetFullSweep restores the
+// literal full-order sweep for ablation.
 package core
 
 import "fmt"
@@ -84,6 +87,10 @@ type Place struct {
 	tokens []*Token        // visible tokens
 	staged []*Token        // arrivals pending promotion (TwoList only)
 	out    [][]*Transition // per-class sorted transition lists (compiled)
+
+	// Event-driven scheduling state (see engine.go).
+	pos        int  // index in the reverse topological order (set by Build)
+	inPromoteQ bool // queued for two-list promotion at next cycle start
 
 	reservations int // visible reservation tokens
 
@@ -212,6 +219,15 @@ type Net struct {
 	// Fig. 6 optimization in the ablation benchmarks.
 	dynamicSearch bool
 	dynScratch    []*Transition
+
+	// Event-driven scheduling state (see engine.go). sweep selects the
+	// full-order ablation loop; the rest implement the active-place set.
+	sweep      bool
+	activeMask []uint64          // bit per order position: process this cycle
+	nextMask   []uint64          // armed for the next cycle (delay-1 fast path)
+	promoteQ   []*Place          // two-list places with staged arrivals
+	wheel      [][]int32         // wakeup wheel of positions, cycle & wheelMask
+	farWake    map[int64][]int32 // wakeups beyond the wheel horizon
 }
 
 // SetDynamicSearch toggles the ablation mode in which enabled transitions

@@ -1,17 +1,112 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
-// Step advances the model by one clock cycle (the loop body of Fig. 8):
+// The engine's cycle loop is event-driven: instead of sweeping every place in
+// reverse topological order each cycle (the literal Fig. 8 loop, kept as the
+// stepSweep ablation below), it processes only *active* places — places that
+// hold at least one token whose residency delay has elapsed. Everything else
+// is skipped at zero cost:
 //
-//	mark written tokens as readable in the two-list places;
-//	process every place in reverse topological order;
+//   - empty places are never visited;
+//   - places whose tokens are all still waiting out a delay are woken by a
+//     per-cycle wakeup wheel: deliver() schedules the holding place on the
+//     wheel slot of the token's readyAt cycle, so multi-cycle units (cache
+//     misses, multiplier early termination) cost nothing while they wait;
+//   - a place with a ready token that found no enabled transition (a stall)
+//     stays active, so guards that depend on external state are re-evaluated
+//     every cycle exactly as the full sweep would;
+//   - two-list places with staged arrivals are queued for promotion at the
+//     start of the next cycle, preserving their beginning-of-cycle
+//     visibility semantics independently of when they next process tokens.
+//
+// The active set is a bitmask over reverse-topological positions: bit i of
+// activeMask covers n.order[i]. Activation is one OR, deactivation is
+// implicit (a place re-arms only by stalling or by a wakeup), and iterating
+// set bits in ascending position visits active places in exactly the order
+// the full sweep would — so the two schedulers are cycle-for-cycle,
+// counter-for-counter identical; the golden-trace and ablation-equivalence
+// tests pin this. The common case (residency delay 1, the one-stage-per-
+// cycle pipeline step) bypasses the wheel entirely: deliver sets the
+// destination's bit in nextMask, which becomes activeMask at the next Step.
+
+// wheelSpan is the wakeup-wheel horizon in cycles. Token delays beyond it
+// (rare: deeper than any modeled miss latency) fall back to the farWake map.
+const wheelSpan = 256
+
+const wheelMask = wheelSpan - 1
+
+// Step advances the model by one clock cycle:
+//
+//	promote staged arrivals queued by last cycle's deliveries;
+//	wake places whose tokens become ready this cycle;
+//	process the active places in reverse topological order;
 //	execute the instruction-independent (token-generating) sub-net;
 //	increment the cycle count.
 func (n *Net) Step() {
 	if !n.built {
 		panic("core: Step before Build")
 	}
+	if n.sweep {
+		n.stepSweep()
+		return
+	}
+	if len(n.promoteQ) > 0 {
+		for _, p := range n.promoteQ {
+			p.inPromoteQ = false
+			p.promote()
+		}
+		n.promoteQ = n.promoteQ[:0]
+	}
+	// This cycle's active set is everything armed for it last cycle
+	// (nextMask) plus the wakeups scheduled for it on the wheel.
+	n.activeMask, n.nextMask = n.nextMask, n.activeMask
+	next := n.nextMask
+	for i := range next {
+		next[i] = 0
+	}
+	slot := n.cycle & wheelMask
+	if wb := n.wheel[slot]; len(wb) > 0 {
+		for _, pos := range wb {
+			n.activeMask[pos>>6] |= 1 << (uint(pos) & 63)
+		}
+		n.wheel[slot] = wb[:0]
+	}
+	if len(n.farWake) > 0 {
+		if list, ok := n.farWake[n.cycle]; ok {
+			for _, pos := range list {
+				n.activeMask[pos>>6] |= 1 << (uint(pos) & 63)
+			}
+			delete(n.farWake, n.cycle)
+		}
+	}
+	// Deliveries during processing only ever target future cycles (residency
+	// delays are >= 1), so activeMask is fixed for the duration of the loop:
+	// process() arms nextMask, never activeMask. Ascending bit order is
+	// ascending reverse-topological position.
+	for w, word := range n.activeMask {
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			if n.process(n.order[base+b]) {
+				next[w] |= 1 << uint(b) // stalled: re-evaluate next cycle
+			}
+		}
+	}
+	for _, s := range n.sources {
+		n.fireSource(s)
+	}
+	n.cycle++
+}
+
+// stepSweep is the pre-event-driven loop body of Fig. 8, retained as the
+// activeList=off ablation: promote every two-list place, then visit every
+// place in reverse topological order whether or not it holds work.
+func (n *Net) stepSweep() {
 	for _, p := range n.twoList {
 		p.promote()
 	}
@@ -24,8 +119,38 @@ func (n *Net) Step() {
 	n.cycle++
 }
 
-// Run steps until stop returns true or maxCycles elapses (0 = unlimited);
-// it returns the number of cycles executed and an error on cycle overrun.
+// SetFullSweep toggles the ablation mode in which Step visits every place
+// every cycle instead of only the active ones. It must be selected before
+// the first Step; the two modes produce bit-identical simulations.
+func (n *Net) SetFullSweep(on bool) {
+	if n.cycle != 0 {
+		panic("core: SetFullSweep after simulation started")
+	}
+	n.sweep = on
+}
+
+// scheduleWake arranges for the place at reverse-topological position pos to
+// be processed at cycle `at` (the readyAt of a token just delivered into
+// it). Duplicate wakeups are harmless: arming the active bit is idempotent.
+func (n *Net) scheduleWake(pos int32, at int64) {
+	if at-n.cycle < wheelSpan {
+		slot := at & wheelMask
+		n.wheel[slot] = append(n.wheel[slot], pos)
+		return
+	}
+	if n.farWake == nil {
+		n.farWake = make(map[int64][]int32)
+	}
+	n.farWake[at] = append(n.farWake[at], pos)
+}
+
+// Run steps until stop returns true or the cycle budget is exhausted. The
+// semantics are pinned (and covered by a table test): stop is evaluated
+// before every cycle, so a stop condition that already holds runs zero
+// cycles; otherwise Run executes at most maxCycles cycles (<= 0 = unlimited)
+// and returns a cycle-limit error if stop still does not hold after the
+// maxCycles-th cycle. In both cases the returned count is the number of
+// cycles executed by this call.
 func (n *Net) Run(stop func() bool, maxCycles int64) (int64, error) {
 	start := n.cycle
 	for !stop() {
@@ -51,10 +176,13 @@ func (p *Place) promote() {
 
 // process implements Fig. 7: for every ready instruction token in the place,
 // in arrival order, try the statically sorted transitions for its class and
-// fire the first enabled one.
-func (n *Net) process(p *Place) {
+// fire the first enabled one. It reports whether the place must stay active
+// next cycle — true exactly when a ready token stalled (its guards need
+// re-evaluation every cycle); tokens still inside a residency delay are
+// covered by the wakeup wheel instead.
+func (n *Net) process(p *Place) (keepActive bool) {
 	if p.End {
-		return
+		return false
 	}
 	for i := 0; i < len(p.tokens); {
 		tok := p.tokens[i]
@@ -76,11 +204,13 @@ func (n *Net) process(p *Place) {
 		}
 		if !fired {
 			p.Stalls++
+			keepActive = true
 			i++
 		}
 		// On fire the token was removed from index i; the next token is now
 		// at i, so i stays put.
 	}
+	return keepActive
 }
 
 // candidates returns the transitions to try for tok at p in priority order:
@@ -144,14 +274,20 @@ func (n *Net) enabled(t *Transition, tok *Token) bool {
 // place (or retire it at an end place).
 func (n *Net) fire(t *Transition, tok *Token, idx int) {
 	from := t.From
-	copy(from.tokens[idx:], from.tokens[idx+1:])
-	from.tokens = from.tokens[:len(from.tokens)-1]
+	if last := len(from.tokens) - 1; idx < last {
+		copy(from.tokens[idx:], from.tokens[idx+1:])
+		from.tokens = from.tokens[:last]
+	} else {
+		from.tokens = from.tokens[:last] // common case: only/last token, no copy
+	}
 	from.Stage.occupancy--
 	tok.place = nil
 
-	for _, r := range t.ResIn {
-		r.reservations--
-		r.Stage.occupancy--
+	if t.hasRes {
+		for _, r := range t.ResIn {
+			r.reservations--
+			r.Stage.occupancy--
+		}
 	}
 
 	if t.Action != nil {
@@ -159,9 +295,11 @@ func (n *Net) fire(t *Transition, tok *Token, idx int) {
 	}
 	t.Fires++
 
-	for _, r := range t.ResOut {
-		r.reservations++
-		r.Stage.occupancy++
+	if t.hasRes {
+		for _, r := range t.ResOut {
+			r.reservations++
+			r.Stage.occupancy++
+		}
 	}
 
 	tok.movedAt = n.cycle
@@ -176,7 +314,9 @@ func (n *Net) fire(t *Transition, tok *Token, idx int) {
 }
 
 // deliver places tok into p, computing its residency delay: the token delay
-// (if set) overrides the place delay; the transition delay adds.
+// (if set) overrides the place delay; the transition delay adds. In
+// event-driven mode it also schedules the wakeup that will process the token
+// when the delay elapses, and queues two-list promotion for next cycle.
 func (n *Net) deliver(tok *Token, p *Place, transDelay int64) {
 	d := p.Delay
 	if tok.Delay > 0 {
@@ -193,8 +333,21 @@ func (n *Net) deliver(tok *Token, p *Place, transDelay int64) {
 	if p.TwoList {
 		tok.staged = true
 		p.staged = append(p.staged, tok)
+		if !n.sweep && !p.inPromoteQ {
+			p.inPromoteQ = true
+			n.promoteQ = append(n.promoteQ, p)
+		}
 	} else {
 		p.tokens = append(p.tokens, tok)
+	}
+	if !n.sweep && !p.End {
+		if tok.readyAt == n.cycle+1 {
+			// The one-stage-per-cycle fast path: arm the place directly for
+			// the next cycle, skipping the wheel.
+			n.nextMask[p.pos>>6] |= 1 << (uint(p.pos) & 63)
+		} else {
+			n.scheduleWake(int32(p.pos), tok.readyAt)
+		}
 	}
 }
 
@@ -242,7 +395,9 @@ func (n *Net) Inject(tok *Token, p *Place) bool {
 }
 
 // RemoveToken squashes a token wherever it currently is (pipeline flush on
-// a mispredicted branch). It reports whether the token was found.
+// a mispredicted branch). It reports whether the token was found. The
+// holding place may stay on the active list or wakeup wheel; a spurious
+// visit of a now-empty place is a no-op and it deactivates again.
 func (n *Net) RemoveToken(tok *Token) bool {
 	p := tok.place
 	if p == nil {
@@ -291,3 +446,35 @@ func (t *Token) Recycle(class ClassID, data any) {
 	t.movedAt = -1
 	t.staged = false
 }
+
+// TokenPool is a free list of instruction tokens. Retire callbacks put
+// tokens back; sources get recycled ones out, so steady-state simulation
+// performs no token allocation at all. The zero value is ready to use.
+// Models that cache richer per-instruction state (like machine.Inst) keep
+// their own pools; TokenPool serves bare-token models — the engine
+// benchmarks, the examples and the CPN comparison harness.
+type TokenPool struct {
+	free []*Token
+}
+
+// Get returns a token of the given class and payload, reusing a recycled
+// one when available.
+func (tp *TokenPool) Get(class ClassID, data any) *Token {
+	if k := len(tp.free); k > 0 {
+		t := tp.free[k-1]
+		tp.free = tp.free[:k-1]
+		t.Recycle(class, data)
+		return t
+	}
+	return NewToken(class, data)
+}
+
+// Put recycles a token into the pool. The caller must no longer reference
+// it; the token's payload is cleared so pooled tokens do not pin data.
+func (tp *TokenPool) Put(t *Token) {
+	t.Data = nil
+	tp.free = append(tp.free, t)
+}
+
+// Len returns the number of pooled tokens (observability for tests).
+func (tp *TokenPool) Len() int { return len(tp.free) }

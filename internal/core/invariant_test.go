@@ -116,14 +116,30 @@ func checkInvariants(t *testing.T, n *Net, produced uint64) {
 		t.Fatalf("token conservation broken: produced %d, retired %d, in flight %d",
 			produced, n.RetiredCount, inFlight)
 	}
-	// Stage occupancy never exceeds capacity.
-	seen := map[*Stage]int{}
+	// Stage occupancy never exceeds capacity, and is exactly accounted for:
+	// occupancy == instruction tokens + reservation tokens across the
+	// stage's places (the paper's invariant that a stage's capacity is
+	// consumed only by tokens visibly resident in it).
+	held := map[*Stage]int{}
+	for _, p := range n.Places() {
+		if p.End {
+			continue // end-place tokens retire on arrival, never occupy
+		}
+		count := 0
+		p.ForEachToken(func(*Token) { count++ })
+		held[p.Stage] += count + p.Reservations()
+	}
 	for _, p := range n.Places() {
 		st := p.Stage
-		if _, done := seen[st]; done {
+		want, tracked := held[st]
+		if !tracked {
 			continue
 		}
-		seen[st] = st.Occupancy()
+		delete(held, st)
+		if st.Occupancy() != want {
+			t.Fatalf("stage %s occupancy %d != tokens+reservations %d",
+				st.Name, st.Occupancy(), want)
+		}
 		if !st.Unlimited() && st.Occupancy() > st.Capacity {
 			t.Fatalf("stage %s over capacity: %d > %d", st.Name, st.Occupancy(), st.Capacity)
 		}
@@ -147,6 +163,102 @@ func TestEngineInvariantsRandomNets(t *testing.T) {
 				// is legal (they just sit), but conservation must hold.
 				checkInvariants(t, n, src.Fires)
 				t.Skipf("net stalls by construction (retired %d/%d)", n.RetiredCount, produce)
+			}
+		})
+	}
+}
+
+// addRandomGuards decorates every transition of a built net with a pure
+// time-varying guard (bit cycle%64 of a per-transition random mask) and a
+// pure data-dependent token delay installed by the action — the paper's
+// "t.delay = mem.delay(addr)" idiom with a synthetic delay function.
+// Purity matters: the active-list engine evaluates guards only for places
+// on its worklist while the full sweep evaluates every place, so guards
+// that consumed an RNG at evaluation time would diverge between the two
+// modes even though the engines are equivalent.
+func addRandomGuards(n *Net, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, tr := range n.Transitions() {
+		// Force bits 0 and 63 on so every guard has true windows each
+		// 64-cycle period: stalls are transient, never deadlocks.
+		mask := rng.Uint64() | 1 | 1<<63
+		stride := int64(1 + rng.Intn(3))
+		tr.Guard = func(*Token) bool {
+			return mask>>(uint64(n.CycleCount())%64)&1 != 0
+		}
+		tr.Action = func(tok *Token) {
+			tok.Delay = int64(tok.Data.(int))*stride%3 + 1
+		}
+	}
+}
+
+// TestEngineInvariantsRandomGuardedNets re-runs the structural invariants
+// under adversarial timing: every transition guarded by a random cycle
+// schedule and every firing overriding the destination residency with a
+// data-dependent token delay. This is the regime the active-list engine
+// must survive — stalled places must stay on the worklist until their
+// guard opens, and wheel-scheduled wakeups must not strand delayed tokens.
+func TestEngineInvariantsRandomGuardedNets(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const produce = 25
+			n := buildConnected(t, seed*1000, produce)
+			addRandomGuards(n, seed*77)
+			src := n.Sources()[0]
+			for i := 0; i < 4000 && n.RetiredCount < produce; i++ {
+				n.Step()
+				checkInvariants(t, n, src.Fires)
+			}
+			if n.RetiredCount != produce {
+				checkInvariants(t, n, src.Fires)
+				t.Skipf("net stalls by construction (retired %d/%d)", n.RetiredCount, produce)
+			}
+		})
+	}
+}
+
+// TestActiveListMatchesFullSweep locksteps the event-driven engine against
+// the literal Fig. 8 full reverse-topological sweep on identical guarded
+// nets and requires bit-identical evolution: same retired count after every
+// cycle, same final cycle count, and the same firing count on every
+// transition. This is the equivalence argument for the active-list
+// scheduler, checked mechanically across random structures, guards and
+// delays.
+func TestActiveListMatchesFullSweep(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const produce = 30
+			active := buildConnected(t, seed*1000, produce)
+			sweep := buildConnected(t, seed*1000, produce)
+			addRandomGuards(active, seed*99)
+			addRandomGuards(sweep, seed*99)
+			sweep.SetFullSweep(true)
+
+			for i := 0; i < 4000 && active.RetiredCount < produce; i++ {
+				active.Step()
+				sweep.Step()
+				if active.RetiredCount != sweep.RetiredCount {
+					t.Fatalf("cycle %d: active retired %d, sweep retired %d",
+						active.CycleCount(), active.RetiredCount, sweep.RetiredCount)
+				}
+				for pi, p := range active.Places() {
+					q := sweep.Places()[pi]
+					if len(p.Tokens()) != len(q.Tokens()) || p.Reservations() != q.Reservations() {
+						t.Fatalf("cycle %d: place %s diverged: %d/%d tokens, %d/%d reservations",
+							active.CycleCount(), p.Name, len(p.Tokens()), len(q.Tokens()),
+							p.Reservations(), q.Reservations())
+					}
+				}
+			}
+			if active.CycleCount() != sweep.CycleCount() {
+				t.Fatalf("cycle counts diverged: %d vs %d", active.CycleCount(), sweep.CycleCount())
+			}
+			for ti, tr := range active.Transitions() {
+				if got := sweep.Transitions()[ti].Fires; tr.Fires != got {
+					t.Fatalf("transition %s fired %d (active) vs %d (sweep)", tr.Name, tr.Fires, got)
+				}
 			}
 		})
 	}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// runNet builds a minimal valid net whose Step is a no-op (no tokens ever
+// enter), so Run's control flow can be observed in isolation.
+func runNet(t *testing.T) *Net {
+	t.Helper()
+	n := NewNet(1)
+	p := n.Place("p", n.Stage("s", 1))
+	end := n.EndPlace("end")
+	n.AddTransition(&Transition{Name: "t", From: p, To: end})
+	n.AddSource(&Source{Name: "src", To: p, Guard: func() bool { return false },
+		Fire: func() *Token { return nil }})
+	if err := n.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestRunMaxCyclesSemantics pins the documented Net.Run contract:
+//   - stop is evaluated before every cycle (a pre-satisfied stop runs zero
+//     cycles and a stop that holds exactly at the budget wins over the
+//     cycle-limit error);
+//   - maxCycles > 0 bounds the cycles executed by this call, not the net's
+//     absolute cycle count, and overrunning it is an error;
+//   - maxCycles <= 0 means unlimited.
+func TestRunMaxCyclesSemantics(t *testing.T) {
+	cases := []struct {
+		name      string
+		stopAfter int64 // stop() returns true once this many cycles ran (this call)
+		maxCycles int64
+		want      int64
+		wantErr   bool
+	}{
+		{"stop-already-true", 0, 10, 0, false},
+		{"stop-already-true-zero-budget", 0, 0, 0, false},
+		{"stop-before-limit", 3, 10, 3, false},
+		{"stop-exactly-at-limit", 10, 10, 10, false}, // stop checked first: no error
+		{"limit-exceeded", 11, 10, 10, true},
+		{"limit-far-exceeded", 1 << 30, 5, 5, true},
+		{"unlimited-zero", 250, 0, 250, false},
+		{"unlimited-negative", 250, -1, 250, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := runNet(t)
+			// Warm the net so the budget provably counts this call's cycles,
+			// not the absolute cycle number.
+			if _, err := n.Run(func() bool { return n.CycleCount() >= 7 }, 0); err != nil {
+				t.Fatal(err)
+			}
+			start := n.CycleCount()
+			stop := func() bool { return n.CycleCount()-start >= tc.stopAfter }
+			got, err := n.Run(stop, tc.maxCycles)
+			if got != tc.want {
+				t.Errorf("ran %d cycles, want %d", got, tc.want)
+			}
+			if n.CycleCount()-start != tc.want {
+				t.Errorf("net advanced %d cycles, want %d", n.CycleCount()-start, tc.want)
+			}
+			if tc.wantErr {
+				if err == nil || !strings.Contains(err.Error(), "cycle limit") {
+					t.Errorf("want cycle-limit error, got %v", err)
+				}
+			} else if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}

@@ -39,6 +39,10 @@ type Config struct {
 	// DynamicSearch disables the static sorted-transitions table (ablation
 	// of the Fig. 6 optimization).
 	DynamicSearch bool
+	// NoActiveList disables event-driven place scheduling, restoring the
+	// full reverse-topological sweep every cycle (ablation of the
+	// active-list optimization; bit-identical timing).
+	NoActiveList bool
 }
 
 // Machine is a processor model plus its architected and simulation state.
@@ -84,6 +88,8 @@ type Machine struct {
 	pool      [][]*Inst
 	poolExtra map[uint32][]*Inst
 	entry     uint32
+	// flushScratch is reused across flushes so squashing allocates nothing.
+	flushScratch []*core.Token
 
 	classNames []string
 }
@@ -284,7 +290,7 @@ func (m *Machine) poolGet(addr uint32) *Inst {
 // the whole pipeline behind a resolved control transfer.
 func (m *Machine) flushAfter(seq uint64, newPC uint32) {
 	m.Flushes++
-	var victims []*core.Token
+	victims := m.flushScratch[:0]
 	for _, p := range m.Net.Places() {
 		p.ForEachToken(func(tok *core.Token) {
 			in, ok := tok.Data.(*Inst)
@@ -293,6 +299,7 @@ func (m *Machine) flushAfter(seq uint64, newPC uint32) {
 			}
 		})
 	}
+	m.flushScratch = victims
 	for _, tok := range victims {
 		in := tok.Data.(*Inst)
 		m.Net.RemoveToken(tok)
@@ -331,5 +338,8 @@ func (m *Machine) applyAblation() {
 	}
 	if m.cfg.DynamicSearch {
 		m.Net.SetDynamicSearch(true)
+	}
+	if m.cfg.NoActiveList {
+		m.Net.SetFullSweep(true)
 	}
 }

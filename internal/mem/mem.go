@@ -83,3 +83,38 @@ func (m *Memory) Write32(addr uint32, v uint32) {
 	off := addr & (pageSize - 1)
 	binary.LittleEndian.PutUint32(m.page(addr)[off:off+4], v)
 }
+
+// Digest returns an FNV-1a hash over the populated address space, walking
+// pages in ascending address order. Unallocated pages hash identically to
+// all-zero pages, so two memories with the same byte contents always digest
+// equal regardless of which pages were ever touched — the property the
+// cross-simulator differential tests rely on.
+func (m *Memory) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, p := range m.pages {
+		if p == nil {
+			continue
+		}
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue // indistinguishable from an untouched page
+		}
+		h ^= uint64(i)
+		h *= prime64
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

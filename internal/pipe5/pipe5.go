@@ -73,6 +73,13 @@ type Sim struct {
 
 	pending [16]int // scoreboard: outstanding writers per register
 
+	// slotPool recycles retired/flushed latch entries; idSrcs and idDests are
+	// the ID stage's scratch lists. Both keep steady-state simulation free of
+	// per-instruction allocation.
+	slotPool []*slot
+	idSrcs   []srcRef
+	idDests  []arm.Reg
+
 	Cycles   int64
 	Instret  uint64
 	Flushes  uint64
@@ -167,6 +174,25 @@ func (s *Sim) stageWB() {
 	if s.fetchHold == w.seq {
 		s.fetchHold = 0
 	}
+	s.freeSlot(w)
+}
+
+// newSlot returns a zeroed latch entry, reusing a retired one when available
+// (keeping any lsmAddr capacity) so steady-state fetch allocates nothing.
+func (s *Sim) newSlot() *slot {
+	if k := len(s.slotPool); k > 0 {
+		sl := s.slotPool[k-1]
+		s.slotPool = s.slotPool[:k-1]
+		la := sl.lsmAddr[:0]
+		*sl = slot{}
+		sl.lsmAddr = la
+		return sl
+	}
+	return &slot{}
+}
+
+func (s *Sim) freeSlot(sl *slot) {
+	s.slotPool = append(s.slotPool, sl)
 }
 
 func (s *Sim) releaseScoreboard(w *slot) {

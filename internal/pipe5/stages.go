@@ -83,7 +83,7 @@ func (s *Sim) execute(ins *arm.Instr, e *slot) {
 		}
 
 	case arm.ClassLoadStoreM:
-		addrs, final := ins.LSMAddresses(e.srcVals[0])
+		addrs, final := ins.LSMAddressesInto(e.srcVals[0], e.lsmAddr)
 		e.lsmAddr = addrs
 		e.wbVal = final
 		if len(addrs) > 0 && s.DCache != nil {
@@ -113,12 +113,20 @@ func (s *Sim) resolveEX(e *slot, actual uint32) {
 		if s.fetchHold == s.fq.seq {
 			s.fetchHold = 0
 		}
+		s.freeSlot(s.fq)
 		s.fq = nil
 	}
 	s.pc = actual
 }
 
 // ---- ID ----------------------------------------------------------------
+
+// srcRef names a source register and the srcVals slot it resolves into
+// (slot -1 routes into the per-register vals array, for LSM stores).
+type srcRef struct {
+	r    arm.Reg
+	slot int
+}
 
 // readReg resolves a source register dynamically: architected file when no
 // writer is pending, else a scan of the downstream latches for a forwardable
@@ -158,47 +166,43 @@ func (s *Sim) stageID() {
 	ins := arm.Decode(d.raw, d.addr) // baseline re-decode
 	p8 := d.addr + 8
 
-	type src struct {
-		r    arm.Reg
-		slot int
-	}
-	var srcs []src
-	var dests []arm.Reg
+	srcs := s.idSrcs[:0]
+	dests := s.idDests[:0]
 
 	switch ins.Class {
 	case arm.ClassDataProc:
 		if ins.Op.UsesRn() {
-			srcs = append(srcs, src{ins.Rn, 0})
+			srcs = append(srcs, srcRef{ins.Rn, 0})
 		}
 		if !ins.HasImm {
-			srcs = append(srcs, src{ins.Rm, 1})
+			srcs = append(srcs, srcRef{ins.Rm, 1})
 		}
 		if ins.ShiftReg {
-			srcs = append(srcs, src{ins.Rs, 2})
+			srcs = append(srcs, srcRef{ins.Rs, 2})
 		}
 		if ins.Op.WritesRd() && ins.Rd != arm.PC {
 			dests = append(dests, ins.Rd)
 		}
 	case arm.ClassMult:
-		srcs = append(srcs, src{ins.Rm, 0}, src{ins.Rs, 1})
+		srcs = append(srcs, srcRef{ins.Rm, 0}, srcRef{ins.Rs, 1})
 		if ins.Long {
 			if ins.Accum {
-				srcs = append(srcs, src{ins.Rn, 2}, src{ins.Rd, 3})
+				srcs = append(srcs, srcRef{ins.Rn, 2}, srcRef{ins.Rd, 3})
 			}
 			dests = append(dests, ins.Rn, ins.Rd) // RdLo, RdHi
 		} else {
 			if ins.Accum {
-				srcs = append(srcs, src{ins.Rn, 2})
+				srcs = append(srcs, srcRef{ins.Rn, 2})
 			}
 			dests = append(dests, ins.Rd)
 		}
 	case arm.ClassLoadStore:
-		srcs = append(srcs, src{ins.Rn, 0})
+		srcs = append(srcs, srcRef{ins.Rn, 0})
 		if !ins.HasImm {
-			srcs = append(srcs, src{ins.Rm, 1})
+			srcs = append(srcs, srcRef{ins.Rm, 1})
 		}
 		if !ins.Load && ins.Rd != arm.PC {
-			srcs = append(srcs, src{ins.Rd, 2})
+			srcs = append(srcs, srcRef{ins.Rd, 2})
 		}
 		if ins.Load && ins.Rd != arm.PC {
 			dests = append(dests, ins.Rd)
@@ -207,11 +211,11 @@ func (s *Sim) stageID() {
 			dests = append(dests, ins.Rn)
 		}
 	case arm.ClassLoadStoreM:
-		srcs = append(srcs, src{ins.Rn, 0})
+		srcs = append(srcs, srcRef{ins.Rn, 0})
 		if !ins.Load {
 			for r := arm.Reg(0); r < 15; r++ {
 				if ins.RegList&(1<<r) != 0 {
-					srcs = append(srcs, src{r, -1}) // into vals[r]
+					srcs = append(srcs, srcRef{r, -1}) // into vals[r]
 				}
 			}
 		} else {
@@ -230,12 +234,14 @@ func (s *Sim) stageID() {
 			dests = append(dests, arm.LR)
 		}
 	case arm.ClassSystem:
-		srcs = append(srcs, src{0, 0})
+		srcs = append(srcs, srcRef{0, 0})
 	}
+	s.idSrcs, s.idDests = srcs, dests
 
 	// Dynamic hazard check: all sources resolvable, all destinations free
 	// of pending writers (WAW).
-	vals := make(map[int]uint32, len(srcs))
+	var vals [4]uint32
+	var valsSet uint8
 	lsmVals := [15]uint32{}
 	for _, sc := range srcs {
 		v, ok := s.readReg(sc.r, p8)
@@ -244,6 +250,7 @@ func (s *Sim) stageID() {
 		}
 		if sc.slot >= 0 {
 			vals[sc.slot] = v
+			valsSet |= 1 << sc.slot
 		} else {
 			lsmVals[sc.r] = v
 		}
@@ -255,8 +262,10 @@ func (s *Sim) stageID() {
 	}
 
 	// Commit the issue: latch values, reserve destinations.
-	for slotIdx, v := range vals {
-		d.srcVals[slotIdx] = v
+	for slotIdx := 0; slotIdx < 4; slotIdx++ {
+		if valsSet&(1<<slotIdx) != 0 {
+			d.srcVals[slotIdx] = vals[slotIdx]
+		}
 	}
 	if ins.Class == arm.ClassLoadStoreM && !ins.Load {
 		for r := arm.Reg(0); r < 15; r++ {
@@ -308,7 +317,8 @@ func (s *Sim) stageIF() {
 	raw := s.Mem.Read32(addr)
 	ins := arm.Decode(raw, addr) // decode for prediction/serialization...
 	s.seq++
-	sl := &slot{raw: raw, addr: addr, seq: s.seq, delay: lat - 1}
+	sl := s.newSlot()
+	sl.raw, sl.addr, sl.seq, sl.delay = raw, addr, s.seq, lat-1
 
 	next := addr + 4
 	if ins.Class == arm.ClassBranch {

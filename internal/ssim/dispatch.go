@@ -27,16 +27,17 @@ func (s *Sim) dispatch() {
 		if slot.addr != pc {
 			// Wrong-path slot (fetched down a mispredicted path): squash.
 			// It consumed fetch bandwidth and a queue entry; nothing more.
-			s.ifq = s.ifq[1:]
+			s.popIFQ()
 			continue
 		}
-		s.ifq = s.ifq[1:]
+		s.popIFQ()
 
 		raw := s.oracle.Mem.Read32(pc)
 		ins := arm.Decode(raw, pc) // re-derive fields at dispatch
 
 		s.seq++
-		e := &ruuEntry{seq: s.seq, raw: raw, addr: pc}
+		e := s.newEntry()
+		e.seq, e.raw, e.addr = s.seq, raw, pc
 
 		// Memory operation classification and effective address, computed
 		// from the pre-execution register state.
@@ -55,7 +56,8 @@ func (s *Sim) dispatch() {
 			e.isStore = !ins.Load
 			memOps = 1
 		case arm.ClassLoadStoreM:
-			addrs, _ := ins.LSMAddresses(regVal(ins.Rn))
+			addrs, _ := ins.LSMAddressesInto(regVal(ins.Rn), s.lsmScratch)
+			s.lsmScratch = addrs
 			if len(addrs) > 0 {
 				e.ea = addrs[0]
 			}
@@ -71,7 +73,8 @@ func (s *Sim) dispatch() {
 		}
 
 		// Input dependences through the create vector.
-		for _, r := range inputRegs(&ins) {
+		s.inScratch = inputRegs(&ins, s.inScratch)
+		for _, r := range s.inScratch {
 			p := s.createVec[r]
 			if p != nil && !p.completed {
 				p.consumers = append(p.consumers, e)
@@ -104,7 +107,8 @@ func (s *Sim) dispatch() {
 		}
 
 		// Output dependences claim the create vector.
-		for _, r := range outputRegs(&ins) {
+		s.outScratch = outputRegs(&ins, s.outScratch)
+		for _, r := range s.outScratch {
 			s.createVec[r] = e
 		}
 
@@ -113,9 +117,10 @@ func (s *Sim) dispatch() {
 }
 
 // inputRegs returns the dependence-relevant input registers (r15 is never
-// tracked: its read value is static; flags are pseudo-register flagReg).
-func inputRegs(ins *arm.Instr) []int {
-	var in []int
+// tracked: its read value is static; flags are pseudo-register flagReg),
+// appending into buf so the per-dispatch list reuses one scratch buffer.
+func inputRegs(ins *arm.Instr, buf []int) []int {
+	in := buf[:0]
 	add := func(r arm.Reg) {
 		if r != arm.PC {
 			in = append(in, int(r))
@@ -178,9 +183,10 @@ func inputRegs(ins *arm.Instr) []int {
 	return in
 }
 
-// outputRegs returns the registers (and flags) the instruction writes.
-func outputRegs(ins *arm.Instr) []int {
-	var out []int
+// outputRegs returns the registers (and flags) the instruction writes,
+// appending into buf.
+func outputRegs(ins *arm.Instr, buf []int) []int {
+	out := buf[:0]
 	add := func(r arm.Reg) {
 		if r != arm.PC {
 			out = append(out, int(r))

@@ -34,9 +34,12 @@ func (s *Sim) enterSpec(wrongPC uint32) {
 // rollback squashes all speculative RUU entries and speculative state
 // (sim-outorder's ruu_recover + tracer recovery).
 func (s *Sim) rollback() {
-	for len(s.ruu) > 0 && s.ruu[len(s.ruu)-1].spec {
-		s.ruu = s.ruu[:len(s.ruu)-1]
+	old := s.ruu
+	n := len(old)
+	for n > 0 && old[n-1].spec {
+		n--
 	}
+	s.ruu = old[:n]
 	for r := range s.createVec {
 		if s.createVec[r] != nil && s.createVec[r].spec {
 			s.createVec[r] = nil
@@ -46,6 +49,28 @@ func (s *Sim) rollback() {
 	for ev := s.events; ev != nil; ev = ev.next {
 		if ev.entry.spec {
 			ev.entry.squashed = true
+		}
+	}
+	// Surviving entries may still list squashed entries as consumers; the
+	// wakeup those would get is a no-op (squashed entries never issue), so
+	// unlinking them is behavior-preserving and lets the records recycle.
+	for _, e := range s.ruu {
+		if len(e.consumers) == 0 {
+			continue
+		}
+		kept := e.consumers[:0]
+		for _, c := range e.consumers {
+			if !c.spec {
+				kept = append(kept, c)
+			}
+		}
+		e.consumers = kept
+	}
+	// Unissued squashed entries have no pending event (their only remaining
+	// reference): recycle now. Issued ones recycle when their event drains.
+	for _, e := range old[n:] {
+		if !e.issued {
+			s.freeEntry(e)
 		}
 	}
 	clear(s.spec.mem)
@@ -175,7 +200,8 @@ func (s *Sim) specExec(ins *arm.Instr) uint32 {
 		}
 	case arm.ClassLoadStoreM:
 		base := s.specReg(ins.Rn, pc)
-		addrs, final := ins.LSMAddresses(base)
+		addrs, final := ins.LSMAddressesInto(base, s.lsmScratch)
+		s.lsmScratch = addrs
 		k := 0
 		for r := arm.Reg(0); r < 16; r++ {
 			if ins.RegList&(1<<r) == 0 {
@@ -219,16 +245,17 @@ func (s *Sim) dispatchSpec() {
 		return
 	}
 	if slot.addr != s.spec.pc {
-		s.ifq = s.ifq[1:]
+		s.popIFQ()
 		return
 	}
-	s.ifq = s.ifq[1:]
+	s.popIFQ()
 
 	raw := s.specRead32(slot.addr)
 	ins := arm.Decode(raw, slot.addr)
 
 	s.seq++
-	e := &ruuEntry{seq: s.seq, raw: raw, addr: slot.addr, spec: true}
+	e := s.newEntry()
+	e.seq, e.raw, e.addr, e.spec = s.seq, raw, slot.addr, true
 	switch ins.Class {
 	case arm.ClassLoadStore:
 		ea, _, _ := ins.LSAddress(s.specReg(ins.Rn, slot.addr), s.specReg(ins.Rm, slot.addr))
@@ -236,7 +263,8 @@ func (s *Sim) dispatchSpec() {
 		e.isLoad = ins.Load
 		e.isStore = !ins.Load
 	case arm.ClassLoadStoreM:
-		addrs, _ := ins.LSMAddresses(s.specReg(ins.Rn, slot.addr))
+		addrs, _ := ins.LSMAddressesInto(s.specReg(ins.Rn, slot.addr), s.lsmScratch)
+		s.lsmScratch = addrs
 		if len(addrs) > 0 {
 			e.ea = addrs[0]
 		}
@@ -246,7 +274,8 @@ func (s *Sim) dispatchSpec() {
 	case arm.ClassMult:
 		e.mulRs = s.specReg(ins.Rs, slot.addr)
 	}
-	for _, r := range inputRegs(&ins) {
+	s.inScratch = inputRegs(&ins, s.inScratch)
+	for _, r := range s.inScratch {
 		p := s.createVec[r]
 		if p != nil && !p.completed {
 			p.consumers = append(p.consumers, e)
@@ -260,7 +289,8 @@ func (s *Sim) dispatchSpec() {
 		s.fetchPC = s.spec.pc
 		s.ifq = s.ifq[:0]
 	}
-	for _, r := range outputRegs(&ins) {
+	s.outScratch = outputRegs(&ins, s.outScratch)
+	for _, r := range s.outScratch {
 		s.createVec[r] = e
 	}
 	s.ruu = append(s.ruu, e)

@@ -133,6 +133,15 @@ type Sim struct {
 	RUUOccSum uint64
 	IFQOccSum uint64
 	IssuedSum uint64
+
+	// Free lists and scratch buffers. They change no modeled behavior —
+	// sim-outorder's per-instruction record and event churn stays, only the
+	// Go allocator is taken off the hot path.
+	entryPool  []*ruuEntry
+	eventPool  *event
+	inScratch  []int
+	outScratch []int
+	lsmScratch []uint32
 }
 
 type fetchSlot struct {
@@ -145,6 +154,35 @@ type event struct {
 	at    int64
 	entry *ruuEntry
 	next  *event
+}
+
+// newEntry returns a zeroed RUU record, reusing a retired one when possible
+// (keeping its consumers capacity).
+func (s *Sim) newEntry() *ruuEntry {
+	if k := len(s.entryPool); k > 0 {
+		e := s.entryPool[k-1]
+		s.entryPool = s.entryPool[:k-1]
+		cons := e.consumers[:0]
+		*e = ruuEntry{}
+		e.consumers = cons
+		return e
+	}
+	return &ruuEntry{}
+}
+
+// freeEntry recycles an RUU record. Callers must guarantee no event or
+// consumer chain still references it: commit (all producers completed and
+// unlinked before issue), rollback (unissued squashed entries, after the
+// stale-consumer filter), and the squashed-event drain in writeback.
+func (s *Sim) freeEntry(e *ruuEntry) {
+	s.entryPool = append(s.entryPool, e)
+}
+
+// popIFQ removes the head fetch-queue slot, compacting in place so the
+// queue's small backing array is reused for the whole run.
+func (s *Sim) popIFQ() {
+	copy(s.ifq, s.ifq[1:])
+	s.ifq = s.ifq[:len(s.ifq)-1]
 }
 
 // New builds the baseline with the program loaded.
@@ -195,6 +233,13 @@ func (s *Sim) ExitCode() uint32 { return s.oracle.Exit }
 
 // Reg returns the architected value of register r.
 func (s *Sim) Reg(r arm.Reg) uint32 { return s.oracle.R[r] }
+
+// Mem returns the architected memory (the oracle core's, which is the
+// committed state — wrong-path stores live only in the spec overlay).
+func (s *Sim) Mem() *mem.Memory { return s.oracle.Mem }
+
+// Flags returns the architected NZCV flags.
+func (s *Sim) Flags() arm.Flags { return s.oracle.F }
 
 // CPI returns cycles per committed instruction.
 func (s *Sim) CPI() float64 {
@@ -249,8 +294,12 @@ func (s *Sim) commit() {
 				s.createVec[r] = nil
 			}
 		}
-		s.ruu = s.ruu[1:]
+		copy(s.ruu, s.ruu[1:])
+		s.ruu = s.ruu[:len(s.ruu)-1]
 		s.Instret++
+		// head completed, so every producer already walked its consumer
+		// chain and head's own chain was cleared at writeback: recycle.
+		s.freeEntry(head)
 	}
 }
 
@@ -261,7 +310,12 @@ func (s *Sim) writeback() {
 		ev := s.events
 		s.events = ev.next
 		e := ev.entry
+		ev.entry = nil
+		ev.next = s.eventPool
+		s.eventPool = ev
 		if e.squashed {
+			// Last reference to a rolled-back entry: recycle it.
+			s.freeEntry(e)
 			continue
 		}
 		e.completed = true
@@ -269,7 +323,7 @@ func (s *Sim) writeback() {
 		for _, c := range e.consumers {
 			c.idepsLeft--
 		}
-		e.consumers = nil
+		e.consumers = e.consumers[:0]
 		// Branch recovery: when the mispredicted instruction completes, the
 		// wrong-path work is rolled back and fetch redirected.
 		if e == s.recover {
@@ -285,7 +339,13 @@ func (s *Sim) writeback() {
 }
 
 func (s *Sim) schedule(e *ruuEntry, at int64) {
-	ev := &event{at: at, entry: e}
+	ev := s.eventPool
+	if ev != nil {
+		s.eventPool = ev.next
+		ev.at, ev.entry, ev.next = at, e, nil
+	} else {
+		ev = &event{at: at, entry: e}
+	}
 	if s.events == nil || s.events.at > at {
 		ev.next = s.events
 		s.events = ev
