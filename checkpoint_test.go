@@ -1,0 +1,308 @@
+package rcpn
+
+// Checkpoint handoff tests — the contract internal/ckpt exists to uphold:
+//
+//  1. Bit-exact resume: for every cycle simulator, a run that checkpoints at
+//     a drained boundary and restores into a *fresh* instance must match the
+//     uninterrupted donor in full architectural state AND in cycles simulated
+//     after the handoff. Any absolute-time residue (unit free stamps, stale
+//     register-file generations, leftover latches) breaks the cycle count
+//     first, which is why that comparison is the sharp edge here.
+//  2. Cross-model handoff: an ISS fast-forward checkpoint (with functional
+//     warming) restores into every detailed model and the completed run ends
+//     in the ISS-golden architectural state.
+//  3. Sampled accuracy: pooled CPI over K checkpointed intervals lands near
+//     the full-run CPI (the sampling methodology the subsystem exists for).
+
+import (
+	"math"
+	"testing"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/bpred"
+	"rcpn/internal/ckpt"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/mem"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/ssim"
+	"rcpn/internal/workload"
+)
+
+// csim wraps one cycle simulator instance behind uniform closures.
+type csim struct {
+	runN     func(n uint64) error
+	run      func() error
+	cycles   func() int64
+	instret  func() uint64
+	snapshot func() (*ckpt.Checkpoint, error)
+	restore  func(*ckpt.Checkpoint) error
+	state    func() archState
+}
+
+// cycleSims returns a builder per simulator; each call builds a fresh
+// instance on p.
+func cycleSims() map[string]func(p *arm.Program) *csim {
+	return map[string]func(p *arm.Program) *csim{
+		"strongarm": func(p *arm.Program) *csim {
+			m := machine.NewStrongARM(p, machine.Config{})
+			return &csim{
+				runN:     func(n uint64) error { return m.RunN(n, 0) },
+				run:      func() error { return m.Run(0) },
+				cycles:   func() int64 { return m.Net.CycleCount() },
+				instret:  func() uint64 { return m.Instret },
+				snapshot: m.Checkpoint,
+				restore:  m.Restore,
+				state: func() archState {
+					return stateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
+				},
+			}
+		},
+		"xscale": func(p *arm.Program) *csim {
+			m := machine.NewXScale(p, machine.Config{})
+			return &csim{
+				runN:     func(n uint64) error { return m.RunN(n, 0) },
+				run:      func() error { return m.Run(0) },
+				cycles:   func() int64 { return m.Net.CycleCount() },
+				instret:  func() uint64 { return m.Instret },
+				snapshot: m.Checkpoint,
+				restore:  m.Restore,
+				state: func() archState {
+					return stateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
+				},
+			}
+		},
+		"pipe5": func(p *arm.Program) *csim {
+			s := pipe5.New(p, pipe5.Config{})
+			return &csim{
+				runN:     func(n uint64) error { return s.RunN(n, 0) },
+				run:      func() error { return s.Run(0) },
+				cycles:   func() int64 { return s.Cycles },
+				instret:  func() uint64 { return s.Instret },
+				snapshot: s.Checkpoint,
+				restore:  s.Restore,
+				state: func() archState {
+					return stateOf(func(r arm.Reg) uint32 { return s.R[r] },
+						s.F, s.Mem, s.Instret, s.ExitCode, s.Output, s.Text)
+				},
+			}
+		},
+		"ssim": func(p *arm.Program) *csim {
+			s := ssim.New(p, ssim.Config{})
+			return &csim{
+				runN:     func(n uint64) error { return s.RunN(n, 0) },
+				run:      func() error { return s.Run(0) },
+				cycles:   func() int64 { return s.Cycles },
+				instret:  func() uint64 { return s.Instret },
+				snapshot: s.Checkpoint,
+				restore:  s.Restore,
+				state: func() archState {
+					return stateOf(s.Reg, s.Flags(), s.Mem(), s.Instret, s.ExitCode(), s.Output(), s.Text())
+				},
+			}
+		},
+	}
+}
+
+// TestBitExactResume: donor runs N instructions, checkpoints at the drained
+// boundary, keeps running to completion; a fresh instance restores the
+// (codec-round-tripped) checkpoint and runs to completion. Post-handoff cycle
+// counts and final architectural state must match exactly.
+func TestBitExactResume(t *testing.T) {
+	for _, wname := range []string{"crc", "adpcm"} {
+		p, err := workload.ByName(wname).Program(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, build := range cycleSims() {
+			t.Run(name+"/"+wname, func(t *testing.T) {
+				donor := build(p)
+				if err := donor.runN(5000); err != nil {
+					t.Fatal(err)
+				}
+				boundaryCycles := donor.cycles()
+				boundaryInstret := donor.instret()
+				ck, err := donor.snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := ck.Bytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := donor.run(); err != nil {
+					t.Fatal(err)
+				}
+				afterCycles := donor.cycles() - boundaryCycles
+				afterInstret := donor.instret() - boundaryInstret
+
+				decoded, err := ckpt.FromBytes(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resumed := build(p)
+				if err := resumed.restore(decoded); err != nil {
+					t.Fatal(err)
+				}
+				if got := resumed.instret(); got != boundaryInstret {
+					t.Fatalf("restored instret %d, boundary %d", got, boundaryInstret)
+				}
+				if err := resumed.run(); err != nil {
+					t.Fatal(err)
+				}
+				if got := resumed.cycles(); got != afterCycles {
+					t.Errorf("post-handoff cycles %d, donor %d — timing not bit-exact", got, afterCycles)
+				}
+				if got := resumed.instret() - boundaryInstret; got != afterInstret {
+					t.Errorf("post-handoff instret %d, donor %d", got, afterInstret)
+				}
+				resumed.state().diff(t, name+"(resumed)", donor.state())
+			})
+		}
+	}
+}
+
+// TestISSHandoff: fast-forward on the functional ISS with warming, hand the
+// checkpoint to every detailed model, run to completion; the final
+// architectural state must match the ISS golden run.
+func TestISSHandoff(t *testing.T) {
+	p, err := workload.ByName("crc").Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := iss.New(p, 0)
+	if err := golden.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref := stateOf(func(r arm.Reg) uint32 { return golden.R[r] },
+		golden.F, golden.Mem, golden.Instret, golden.Exit, golden.Output, golden.Text)
+
+	warms := map[string]func(c *iss.CPU){
+		"strongarm": func(c *iss.CPU) {
+			h := mem.DefaultStrongARM()
+			c.WarmI, c.WarmD, c.WarmPred = h.I, h.D, bpred.NewNotTaken()
+		},
+		"xscale": func(c *iss.CPU) {
+			h := mem.DefaultXScale()
+			c.WarmI, c.WarmD, c.WarmPred = h.I, h.D, bpred.NewBimodal(128)
+		},
+		"pipe5": func(c *iss.CPU) {
+			h := mem.DefaultStrongARM()
+			c.WarmI, c.WarmD, c.WarmPred = h.I, h.D, bpred.NewNotTaken()
+		},
+		"ssim": func(c *iss.CPU) {
+			h := mem.DefaultStrongARM()
+			c.WarmI, c.WarmD, c.WarmPred = h.I, h.D, bpred.NewNotTaken()
+		},
+	}
+	for name, build := range cycleSims() {
+		t.Run(name, func(t *testing.T) {
+			ff := iss.New(p, 0)
+			warms[name](ff)
+			if _, err := ff.RunN(5000); err != nil {
+				t.Fatal(err)
+			}
+			ck := ff.Checkpoint()
+			if ck.ICache == nil || ck.DCache == nil {
+				t.Fatal("functional warming produced no cache state")
+			}
+			s := build(p)
+			if err := s.restore(ck); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.run(); err != nil {
+				t.Fatal(err)
+			}
+			s.state().diff(t, name, ref)
+		})
+	}
+}
+
+// TestSampledCPIAccuracy: the sampled-simulation estimate (pooled over K
+// checkpointed intervals with functional warming) must land within a
+// documented bound of the full-run CPI. The bound is deliberately loose —
+// K=4 tiny intervals on a tiny kernel — the point is methodological sanity,
+// not SMARTS-grade confidence intervals (EXPERIMENTS.md reports measured
+// errors of a few percent).
+func TestSampledCPIAccuracy(t *testing.T) {
+	const (
+		k      = 4
+		ilen   = 10_000
+		bound  = 15.0 // percent
+		wlName = "crc"
+	)
+	p, err := workload.ByName(wlName).Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := iss.New(p, 0)
+	if err := golden.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := golden.Instret
+
+	for _, name := range []string{"strongarm", "pipe5"} {
+		t.Run(name, func(t *testing.T) {
+			build := cycleSims()[name]
+			full := build(p)
+			if err := full.run(); err != nil {
+				t.Fatal(err)
+			}
+			fullCPI := float64(full.cycles()) / float64(full.instret())
+
+			var cyc int64
+			var ins uint64
+			for i := 0; i < k; i++ {
+				ff := iss.New(p, 0)
+				h := mem.DefaultStrongARM()
+				ff.WarmI, ff.WarmD, ff.WarmPred = h.I, h.D, bpred.NewNotTaken()
+				if _, err := ff.RunN(total * uint64(i) / k); err != nil {
+					t.Fatal(err)
+				}
+				s := build(p)
+				if err := s.restore(ff.Checkpoint()); err != nil {
+					t.Fatal(err)
+				}
+				base := s.instret()
+				if err := s.runN(ilen); err != nil {
+					t.Fatal(err)
+				}
+				cyc += s.cycles()
+				ins += s.instret() - base
+			}
+			sampled := float64(cyc) / float64(ins)
+			errPct := 100 * math.Abs(sampled-fullCPI) / fullCPI
+			if errPct > bound {
+				t.Errorf("sampled CPI %.3f vs full %.3f: error %.1f%% exceeds %v%%",
+					sampled, fullCPI, errPct, bound)
+			}
+		})
+	}
+}
+
+// TestCheckpointRequiresDrained: snapshotting straight after construction is
+// legal (a fresh simulator is drained); the error paths fire on geometry
+// mismatches, not on fresh instances.
+func TestCheckpointRequiresDrained(t *testing.T) {
+	p, err := workload.ByName("crc").Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, build := range cycleSims() {
+		s := build(p)
+		if _, err := s.snapshot(); err != nil {
+			t.Errorf("%s: fresh simulator not checkpointable: %v", name, err)
+		}
+	}
+	// A warm snapshot from mismatched cache geometry must be refused.
+	ff := iss.New(p, 0)
+	ff.WarmI = mem.MustCache(mem.CacheConfig{Name: "tiny", Sets: 2, Ways: 1,
+		LineBytes: 16, HitLatency: 1, MissLatency: 10})
+	if _, err := ff.RunN(100); err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewStrongARM(p, machine.Config{})
+	if err := m.Restore(ff.Checkpoint()); err == nil {
+		t.Error("geometry-mismatched warm state restored without error")
+	}
+}

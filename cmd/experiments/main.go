@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"rcpn/internal/arm"
+	"rcpn/internal/batch"
 	"rcpn/internal/core"
 	"rcpn/internal/cpn"
 	"rcpn/internal/iss"
@@ -36,6 +37,7 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 10, 11, ablation, sweep, all")
 	scale := flag.Int("scale", 4, "workload scale factor (1 = quick)")
 	csv := flag.String("csv", "", "also write raw measurements as CSV to this file")
+	flag.IntVar(&workers, "j", 0, "measurement worker pool (0 = GOMAXPROCS, 1 = the old serial loop)")
 	flag.Parse()
 
 	set := &stats.Set{}
@@ -105,9 +107,19 @@ func runners() []runner {
 	}
 }
 
-// measure runs every workload on every simulator, verifying results against
-// the ISS golden model as it goes.
+// workers is the -j flag: the size of the measurement worker pool.
+var workers int
+
+// measure runs every workload on every simulator through the batch worker
+// pool, verifying results against the ISS golden model as it goes. The golden
+// functional runs happen up front (they are cheap and their instruction
+// counts feed every job's verification); the cycle-accurate runs — the
+// expensive part — fan out as independent jobs. With -j 1 the pool claims
+// jobs in submission order, reproducing the old serial loop exactly; the
+// result tables are identical at any -j because results are aggregated in
+// submission order, not completion order.
 func measure(set *stats.Set, scale int) {
+	var jobs []batch.Job
 	for _, w := range workload.All() {
 		p, err := w.Program(scale)
 		if err != nil {
@@ -122,19 +134,30 @@ func measure(set *stats.Set, scale int) {
 			if _, ok := set.Get(r.name, w.Name); ok {
 				continue
 			}
-			start := time.Now()
-			cycles, instret, err := r.run(p)
-			wall := time.Since(start)
-			if err != nil {
-				die(fmt.Errorf("%s on %s: %w", r.name, w.Name, err))
-			}
-			if instret != golden.Instret {
-				die(fmt.Errorf("%s on %s: instret %d, golden %d — simulator bug",
-					r.name, w.Name, instret, golden.Instret))
-			}
-			set.Add(stats.Run{Simulator: r.name, Workload: w.Name,
-				Cycles: cycles, Instret: instret, Wall: wall})
+			r, w, p, want := r, w, p, golden.Instret
+			jobs = append(jobs, batch.Job{
+				Simulator: r.name, Workload: w.Name,
+				Run: func() (batch.Metrics, error) {
+					cycles, instret, err := r.run(p)
+					if err != nil {
+						return batch.Metrics{}, err
+					}
+					if instret != want {
+						return batch.Metrics{}, fmt.Errorf(
+							"instret %d, golden %d — simulator bug", instret, want)
+					}
+					return batch.Metrics{Cycles: cycles, Instret: instret}, nil
+				},
+			})
 		}
+	}
+	rep := batch.Run(jobs, batch.Options{Workers: workers})
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			die(fmt.Errorf("%s on %s: %s", r.Simulator, r.Workload, r.Err))
+		}
+		set.Add(stats.Run{Simulator: r.Simulator, Workload: r.Workload,
+			Cycles: r.Cycles, Instret: r.Instret, Wall: r.Wall})
 	}
 }
 

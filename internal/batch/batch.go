@@ -1,0 +1,236 @@
+// Package batch runs a matrix of simulation jobs — (simulator, workload,
+// config, interval) cells — on a bounded worker pool and aggregates the
+// results. It exists because the generated simulators are embarrassingly
+// parallel at the job level: a design-space sweep or a sampled-simulation
+// study is hundreds of independent runs, and a cycle-accurate model saturates
+// one core, so the natural unit of parallelism is the whole job.
+//
+// The pool claims jobs with an atomic counter, so with Workers == 1 execution
+// order is exactly submission order and the run is byte-identical to a serial
+// loop. With more workers, jobs complete in nondeterministic order but results
+// are stored by job index, so every aggregate view (stats.Set, JSON report)
+// is independent of scheduling. Each job runs under a panic handler and an
+// optional deadline; one wedged or crashing configuration cannot take down a
+// sweep.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcpn/internal/stats"
+)
+
+// Metrics is what a job measures. Extra carries named scalar metrics beyond
+// the core pair (hit ratios, CPI error, ...).
+type Metrics struct {
+	Cycles  int64
+	Instret uint64
+	Extra   map[string]float64
+}
+
+// CPI returns cycles per retired instruction.
+func (m Metrics) CPI() float64 {
+	if m.Instret == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Instret)
+}
+
+// Job is one cell of the matrix. Run is the job body: typically it builds a
+// simulator (from a program or a checkpoint), runs it, and returns the
+// measurements. Run must be self-contained — it is called exactly once, on an
+// arbitrary worker goroutine, and must not share mutable state with other
+// jobs.
+type Job struct {
+	Simulator string
+	Workload  string
+	Config    string // configuration label ("" when there is only one)
+	Interval  string // sampling-interval label ("" for full runs)
+	// Timeout overrides Options.Timeout for this job (0 = inherit).
+	Timeout time.Duration
+	Run     func() (Metrics, error)
+}
+
+// label renders the cell coordinates for error messages.
+func (j *Job) label() string {
+	s := j.Simulator + "/" + j.Workload
+	if j.Config != "" {
+		s += "/" + j.Config
+	}
+	if j.Interval != "" {
+		s += "@" + j.Interval
+	}
+	return s
+}
+
+// Result is one finished job. Err is a string (not error) so the report
+// serializes; empty means success.
+type Result struct {
+	Simulator string
+	Workload  string
+	Config    string
+	Interval  string
+	Metrics
+	Wall     time.Duration
+	Err      string
+	Panicked bool
+	TimedOut bool
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Workers bounds concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout is the default per-job deadline; 0 means no deadline.
+	Timeout time.Duration
+	// Progress, when set, is called after each job completes with the number
+	// done so far and the total. Calls are serialized but arrive in
+	// completion order, not submission order.
+	Progress func(done, total int, r Result)
+}
+
+// Report is the aggregated outcome of a Run: one Result per job, in
+// submission order regardless of completion order.
+type Report struct {
+	Results []Result
+	// Wall is the whole pool run, end to end.
+	Wall time.Duration
+	// Workers is the concurrency the run actually used.
+	Workers int
+}
+
+// Run executes the jobs on a bounded worker pool and returns the report.
+// It always runs every job; per-job failures are recorded, not propagated.
+func Run(jobs []Job, opt Options) *Report {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	rep := &Report{Results: make([]Result, len(jobs)), Workers: workers}
+	start := time.Now()
+
+	var next atomic.Int64
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				r := runOne(&jobs[i], opt.Timeout)
+				rep.Results[i] = r
+				n := int(done.Add(1))
+				if opt.Progress != nil {
+					progressMu.Lock()
+					opt.Progress(n, len(jobs), r)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	return rep
+}
+
+// runOne executes a single job under panic recovery and an optional deadline.
+func runOne(j *Job, defTimeout time.Duration) Result {
+	r := Result{Simulator: j.Simulator, Workload: j.Workload,
+		Config: j.Config, Interval: j.Interval}
+	timeout := j.Timeout
+	if timeout == 0 {
+		timeout = defTimeout
+	}
+	start := time.Now()
+
+	type outcome struct {
+		m        Metrics
+		err      error
+		panicked bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if p := recover(); p != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				o.err = fmt.Errorf("panic: %v\n%s", p, buf)
+				o.panicked = true
+			}
+			ch <- o
+		}()
+		o.m, o.err = j.Run()
+	}()
+
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case o := <-ch:
+			r.Metrics, r.Panicked = o.m, o.panicked
+			if o.err != nil {
+				r.Err = fmt.Sprintf("%s: %v", j.label(), o.err)
+			}
+		case <-timer.C:
+			// The job goroutine is abandoned; the simulators have no
+			// cancellation hook, so a truly wedged job leaks its goroutine.
+			// That is the accepted cost of keeping the sweep alive.
+			r.TimedOut = true
+			r.Err = fmt.Sprintf("%s: timed out after %v", j.label(), timeout)
+		}
+	} else {
+		o := <-ch
+		r.Metrics, r.Panicked = o.m, o.panicked
+		if o.err != nil {
+			r.Err = fmt.Sprintf("%s: %v", j.label(), o.err)
+		}
+	}
+	r.Wall = time.Since(start)
+	return r
+}
+
+// Failed returns the results that did not succeed.
+func (rep *Report) Failed() []Result {
+	var out []Result
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// StatsSet converts the successful results into a stats.Set, so batch output
+// feeds the same Figure 10/11 table renderers as the serial harness. Config
+// and interval labels are folded into the simulator name when present.
+func (rep *Report) StatsSet() *stats.Set {
+	set := &stats.Set{}
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			continue
+		}
+		name := r.Simulator
+		if r.Config != "" {
+			name += "/" + r.Config
+		}
+		if r.Interval != "" {
+			name += "@" + r.Interval
+		}
+		set.Add(stats.Run{Simulator: name, Workload: r.Workload,
+			Cycles: r.Cycles, Instret: r.Instret, Wall: r.Wall})
+	}
+	return set
+}

@@ -1,0 +1,199 @@
+package batch
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeJobs builds a matrix of deterministic jobs whose metrics depend only
+// on their coordinates, with staggered durations so parallel completion
+// order differs from submission order.
+func fakeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Simulator: fmt.Sprintf("sim%d", i%3),
+			Workload:  fmt.Sprintf("wl%d", i/3),
+			Run: func() (Metrics, error) {
+				// Reverse-staggered sleeps: late-submitted jobs finish first
+				// under parallelism.
+				time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+				return Metrics{Cycles: int64(1000 + i), Instret: uint64(100 + i),
+					Extra: map[string]float64{"idx": float64(i)}}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestDeterministicReport: the wall-free JSON report is byte-identical for
+// a serial and a heavily parallel run of the same matrix.
+func TestDeterministicReport(t *testing.T) {
+	serial := Run(fakeJobs(24), Options{Workers: 1})
+	parallel := Run(fakeJobs(24), Options{Workers: 8})
+
+	js, err := serial.JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := parallel.JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jp) {
+		t.Fatalf("serial and parallel reports differ:\n%s\n----\n%s", js, jp)
+	}
+
+	// With wall timing embedded the report is host-dependent by design;
+	// it must still parse and carry the worker count.
+	jw, err := parallel.JSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jw, []byte(`"workers": 8`)) {
+		t.Fatalf("wall report missing worker count:\n%s", jw)
+	}
+}
+
+// TestResultsInSubmissionOrder: results land at their job's index no matter
+// when they complete.
+func TestResultsInSubmissionOrder(t *testing.T) {
+	rep := Run(fakeJobs(24), Options{Workers: 8})
+	for i, r := range rep.Results {
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+		if r.Cycles != int64(1000+i) {
+			t.Fatalf("result %d has cycles %d (slot scrambled)", i, r.Cycles)
+		}
+	}
+}
+
+// TestPanicRecovery: a panicking job is recorded as failed without killing
+// the pool or the process.
+func TestPanicRecovery(t *testing.T) {
+	jobs := fakeJobs(6)
+	jobs[2].Run = func() (Metrics, error) { panic("simulated simulator bug") }
+	rep := Run(jobs, Options{Workers: 3})
+
+	r := rep.Results[2]
+	if !r.Panicked || r.Err == "" {
+		t.Fatalf("panic not recorded: %+v", r)
+	}
+	if len(rep.Failed()) != 1 {
+		t.Fatalf("Failed() = %d results, want 1", len(rep.Failed()))
+	}
+	for i, r := range rep.Results {
+		if i != 2 && r.Err != "" {
+			t.Errorf("innocent job %d failed: %s", i, r.Err)
+		}
+	}
+}
+
+// TestTimeout: a wedged job is abandoned and flagged; the rest of the sweep
+// completes.
+func TestTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	jobs := fakeJobs(4)
+	jobs[1].Run = func() (Metrics, error) { <-block; return Metrics{}, nil }
+	jobs[1].Timeout = 30 * time.Millisecond
+
+	rep := Run(jobs, Options{Workers: 2, Timeout: 10 * time.Second})
+	if r := rep.Results[1]; !r.TimedOut || r.Err == "" {
+		t.Fatalf("timeout not recorded: %+v", r)
+	}
+	if n := len(rep.Failed()); n != 1 {
+		t.Fatalf("Failed() = %d, want 1", n)
+	}
+}
+
+// TestProgress: the callback fires once per job with monotonically
+// increasing done counts, serialized.
+func TestProgress(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	rep := Run(fakeJobs(12), Options{Workers: 4,
+		Progress: func(done, total int, r Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != 12 {
+				t.Errorf("total = %d", total)
+			}
+			dones = append(dones, done)
+		}})
+	if len(rep.Results) != 12 || len(dones) != 12 {
+		t.Fatalf("%d results, %d progress calls", len(rep.Results), len(dones))
+	}
+	seen := map[int]bool{}
+	for _, d := range dones {
+		if d < 1 || d > 12 || seen[d] {
+			t.Fatalf("bad done sequence %v", dones)
+		}
+		seen[d] = true
+	}
+}
+
+// TestStatsSet: config and interval labels fold into the simulator column
+// and failed jobs are excluded.
+func TestStatsSet(t *testing.T) {
+	jobs := []Job{
+		{Simulator: "s", Workload: "w", Config: "c", Interval: "k0",
+			Run: func() (Metrics, error) { return Metrics{Cycles: 10, Instret: 5}, nil }},
+		{Simulator: "s", Workload: "w2",
+			Run: func() (Metrics, error) { return Metrics{}, fmt.Errorf("boom") }},
+	}
+	set := Run(jobs, Options{Workers: 1}).StatsSet()
+	if len(set.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(set.Runs))
+	}
+	if got := set.Runs[0].Simulator; got != "s/c@k0" {
+		t.Fatalf("folded name %q", got)
+	}
+}
+
+// TestSingleWorkerOrder: with one worker, completion order IS submission
+// order — the property the -j 1 compatibility mode relies on.
+func TestSingleWorkerOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	jobs := []Job{
+		{Simulator: "a", Workload: "w", Run: func() (Metrics, error) {
+			mu.Lock()
+			order = append(order, "a")
+			mu.Unlock()
+			return Metrics{}, nil
+		}},
+		{Simulator: "b", Workload: "w", Run: func() (Metrics, error) {
+			mu.Lock()
+			order = append(order, "b")
+			mu.Unlock()
+			return Metrics{}, nil
+		}},
+		{Simulator: "c", Workload: "w", Run: func() (Metrics, error) {
+			mu.Lock()
+			order = append(order, "c")
+			mu.Unlock()
+			return Metrics{}, nil
+		}},
+	}
+	Run(jobs, Options{Workers: 1})
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("execution order %v", order)
+	}
+}
+
+// TestEmptyMatrix: zero jobs is a no-op, not a hang.
+func TestEmptyMatrix(t *testing.T) {
+	rep := Run(nil, Options{Workers: 4})
+	if len(rep.Results) != 0 {
+		t.Fatal("results from an empty matrix")
+	}
+	if _, err := rep.JSON(false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,8 @@
 // (paper §3); these are those units for control flow.
 package bpred
 
+import "fmt"
+
 // Predictor is the interface the fetch transitions use. Predict is consulted
 // at fetch time; Update is called by the branch sub-net at resolution.
 type Predictor interface {
@@ -30,6 +32,42 @@ func (s Stats) Accuracy() float64 {
 	return float64(s.Correct) / float64(s.Lookups)
 }
 
+// State is a serializable predictor snapshot — the warm branch-history state
+// a checkpoint can carry across a functional-to-detailed handoff. Kind names
+// the predictor type; the table slices are empty for stateless predictors.
+type State struct {
+	Kind    string // "not-taken" or "bimodal"
+	Stats   Stats
+	Counter []uint8  // bimodal 2-bit counters
+	BTBTag  []uint32 // bimodal BTB tags
+	BTBTgt  []uint32 // bimodal BTB targets
+}
+
+// Snapshotter is implemented by predictors whose dynamic state can be
+// captured and restored. Reset returns the predictor to its post-construction
+// state, so a restored job never inherits stale warm history.
+type Snapshotter interface {
+	Predictor
+	Snapshot() State
+	Restore(State) error
+	Reset()
+}
+
+// FromState builds a fresh predictor of the snapshot's kind and restores the
+// snapshot into it.
+func FromState(st State) (Predictor, error) {
+	switch st.Kind {
+	case "not-taken":
+		p := NewNotTaken()
+		return p, p.Restore(st)
+	case "bimodal":
+		p := NewBimodal(len(st.Counter))
+		return p, p.Restore(st)
+	default:
+		return nil, fmt.Errorf("bpred: unknown predictor kind %q", st.Kind)
+	}
+}
+
 // NotTaken always predicts not-taken (the simplest static predictor; also
 // the configuration used to approximate "simplest parameter values" baseline
 // runs).
@@ -53,6 +91,21 @@ func (p *NotTaken) Update(pc uint32, taken bool, target uint32) {
 
 // Stats implements Predictor.
 func (p *NotTaken) Stats() Stats { return p.s }
+
+// Snapshot implements Snapshotter.
+func (p *NotTaken) Snapshot() State { return State{Kind: "not-taken", Stats: p.s} }
+
+// Restore implements Snapshotter.
+func (p *NotTaken) Restore(st State) error {
+	if st.Kind != "not-taken" {
+		return fmt.Errorf("bpred: cannot restore %q snapshot into not-taken", st.Kind)
+	}
+	p.s = st.Stats
+	return nil
+}
+
+// Reset implements Snapshotter.
+func (p *NotTaken) Reset() { p.s = Stats{} }
 
 // Bimodal is a classic 2-bit saturating-counter predictor with a
 // direct-mapped branch target buffer.
@@ -124,3 +177,46 @@ func (p *Bimodal) Update(pc uint32, taken bool, target uint32) {
 
 // Stats implements Predictor.
 func (p *Bimodal) Stats() Stats { return p.s }
+
+// Snapshot implements Snapshotter.
+func (p *Bimodal) Snapshot() State {
+	return State{
+		Kind:    "bimodal",
+		Stats:   p.s,
+		Counter: append([]uint8(nil), p.counter...),
+		BTBTag:  append([]uint32(nil), p.btbTag...),
+		BTBTgt:  append([]uint32(nil), p.btbTgt...),
+	}
+}
+
+// Restore implements Snapshotter.
+func (p *Bimodal) Restore(st State) error {
+	if st.Kind != "bimodal" {
+		return fmt.Errorf("bpred: cannot restore %q snapshot into bimodal", st.Kind)
+	}
+	if len(st.Counter) != len(p.counter) ||
+		len(st.BTBTag) != len(p.btbTag) || len(st.BTBTgt) != len(p.btbTgt) {
+		return fmt.Errorf("bpred: bimodal snapshot has %d entries, predictor has %d",
+			len(st.Counter), len(p.counter))
+	}
+	copy(p.counter, st.Counter)
+	copy(p.btbTag, st.BTBTag)
+	copy(p.btbTgt, st.BTBTgt)
+	p.s = st.Stats
+	return nil
+}
+
+// Reset implements Snapshotter.
+func (p *Bimodal) Reset() {
+	for i := range p.counter {
+		p.counter[i] = 1 // weakly not-taken, as at construction
+		p.btbTag[i] = ^uint32(0)
+		p.btbTgt[i] = 0
+	}
+	p.s = Stats{}
+}
+
+var (
+	_ Snapshotter = (*NotTaken)(nil)
+	_ Snapshotter = (*Bimodal)(nil)
+)

@@ -1,0 +1,101 @@
+package bpred
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// train drives a deterministic pseudo-random branch stream into p.
+func train(p Predictor, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pc := uint32(rng.Intn(256)) * 4
+		p.Predict(pc)
+		p.Update(pc, rng.Intn(3) != 0, pc+uint32(rng.Intn(64))*4)
+	}
+}
+
+// TestBimodalSnapshotRoundTrip: a predictor restored from a snapshot is
+// behaviorally identical to the donor.
+func TestBimodalSnapshotRoundTrip(t *testing.T) {
+	donor := NewBimodal(128)
+	train(donor, 1, 5000)
+	st := donor.Snapshot()
+
+	twin, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		pc := uint32(rng.Intn(256)) * 4
+		t1, g1, k1 := donor.Predict(pc)
+		t2, g2, k2 := twin.Predict(pc)
+		if t1 != t2 || g1 != g2 || k1 != k2 {
+			t.Fatalf("prediction diverged at %d: (%v,%#x,%v) vs (%v,%#x,%v)",
+				i, t1, g1, k1, t2, g2, k2)
+		}
+		taken := rng.Intn(2) == 0
+		target := pc + 16
+		donor.Update(pc, taken, target)
+		twin.Update(pc, taken, target)
+	}
+	if donor.Stats() != twin.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", donor.Stats(), twin.Stats())
+	}
+
+	// Snapshot must copy, not alias.
+	st2 := donor.Snapshot()
+	st2.Counter[0] ^= 3
+	if donor.Snapshot().Counter[0] == st2.Counter[0] {
+		t.Fatal("Snapshot aliases live tables")
+	}
+}
+
+// TestResetSymmetry: Reset returns a trained predictor to its
+// post-construction state.
+func TestResetSymmetry(t *testing.T) {
+	b := NewBimodal(64)
+	train(b, 3, 1000)
+	b.Reset()
+	if !reflect.DeepEqual(b.Snapshot(), NewBimodal(64).Snapshot()) {
+		t.Fatal("reset bimodal differs from a fresh one")
+	}
+
+	n := NewNotTaken()
+	train(n, 4, 100)
+	n.Reset()
+	if !reflect.DeepEqual(n.Snapshot(), NewNotTaken().Snapshot()) {
+		t.Fatal("reset not-taken differs from a fresh one")
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	if err := NewBimodal(64).Restore(NewNotTaken().Snapshot()); err == nil {
+		t.Error("bimodal accepted a not-taken snapshot")
+	}
+	if err := NewNotTaken().Restore(NewBimodal(64).Snapshot()); err == nil {
+		t.Error("not-taken accepted a bimodal snapshot")
+	}
+	if err := NewBimodal(64).Restore(NewBimodal(256).Snapshot()); err == nil {
+		t.Error("bimodal accepted a differently-sized snapshot")
+	}
+	if _, err := FromState(State{Kind: "gshare"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestNotTakenSnapshotCarriesStats: the stateless predictor's snapshot is
+// its statistics, and FromState reproduces them.
+func TestNotTakenSnapshotCarriesStats(t *testing.T) {
+	p := NewNotTaken()
+	train(p, 5, 500)
+	q, err := FromState(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats() != q.Stats() {
+		t.Fatalf("stats %+v, want %+v", q.Stats(), p.Stats())
+	}
+}

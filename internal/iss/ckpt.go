@@ -1,0 +1,88 @@
+package iss
+
+import (
+	"fmt"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/ckpt"
+	"rcpn/internal/mem"
+)
+
+// This file implements the fast-forward half of sampled simulation: the ISS
+// runs N instructions at functional speed, snapshots, and any detailed model
+// restores the snapshot and measures an interval. Because every instruction
+// boundary of a purely functional simulator is a drained boundary, the ISS
+// can checkpoint anywhere.
+
+// RunN executes up to n further instructions (or until exit) and returns how
+// many actually retired. MaxInstrs still bounds the total.
+func (c *CPU) RunN(n uint64) (uint64, error) {
+	start := c.Instret
+	for !c.Exited && c.Instret-start < n {
+		if c.MaxInstrs != 0 && c.Instret >= c.MaxInstrs {
+			return c.Instret - start, fmt.Errorf("iss: instruction limit %d exceeded at pc=%#08x", c.MaxInstrs, c.R[arm.PC])
+		}
+		if err := c.Step(); err != nil {
+			return c.Instret - start, err
+		}
+	}
+	return c.Instret - start, nil
+}
+
+// Checkpoint captures the complete architected state, plus warm
+// microarchitectural state when warm units are attached.
+func (c *CPU) Checkpoint() *ckpt.Checkpoint {
+	ck := &ckpt.Checkpoint{
+		R:       c.R,
+		Instret: c.Instret,
+		Exited:  c.Exited,
+		Exit:    c.Exit,
+		Output:  append([]uint32(nil), c.Output...),
+		Text:    append([]byte(nil), c.Text...),
+		Mem:     ckpt.CaptureMem(c.Mem),
+		ICache:  ckpt.CaptureCache(c.WarmI),
+		DCache:  ckpt.CaptureCache(c.WarmD),
+	}
+	ck.SetArchFlags(c.F)
+	if c.WarmPred != nil {
+		ck.Pred = ckpt.CapturePred(c.WarmPred)
+	}
+	return ck
+}
+
+// Restore overwrites the CPU's architected state with the checkpoint. The
+// decode cache is dropped (the restored image may differ) and any attached
+// warm units are reset, then warmed from the checkpoint if it carries state.
+func (c *CPU) Restore(ck *ckpt.Checkpoint) error {
+	c.R = ck.R
+	c.F = ck.ArchFlags()
+	c.Instret = ck.Instret
+	c.Exited = ck.Exited
+	c.Exit = ck.Exit
+	c.Output = append(c.Output[:0], ck.Output...)
+	c.Text = append(c.Text[:0], ck.Text...)
+	ckpt.RestoreMem(c.Mem, ck.Mem)
+	clear(c.decode)
+	if err := ckpt.RestoreCache(c.WarmI, ck.ICache); err != nil {
+		return err
+	}
+	if err := ckpt.RestoreCache(c.WarmD, ck.DCache); err != nil {
+		return err
+	}
+	if c.WarmPred != nil {
+		if err := ckpt.RestorePred(c.WarmPred, ck.Pred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewFromCheckpoint builds a CPU directly from a checkpoint, with no program
+// image (the checkpointed memory is the image).
+func NewFromCheckpoint(ck *ckpt.Checkpoint) (*CPU, error) {
+	c := &CPU{Mem: mem.New(), decode: make(map[uint32]*arm.Instr)}
+	if err := c.Restore(ck); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

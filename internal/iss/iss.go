@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"rcpn/internal/arm"
+	"rcpn/internal/bpred"
 	"rcpn/internal/mem"
 )
 
@@ -29,6 +30,17 @@ type CPU struct {
 
 	// MaxInstrs aborts runaway programs; 0 means no limit.
 	MaxInstrs uint64
+
+	// Warm units for SMARTS-style functional warming during fast-forward:
+	// when non-nil they are touched with the committed-path access stream
+	// (instruction fetches, data effective addresses, branch outcomes) so a
+	// checkpoint captured after the fast-forward carries warm
+	// microarchitectural state instead of cold structures. Timing is never
+	// affected — the ISS stays purely functional — and wrong-path pollution
+	// is deliberately absent (the documented approximation of functional
+	// warmup).
+	WarmI, WarmD *mem.Cache
+	WarmPred     bpred.Predictor
 }
 
 // New returns a CPU with the program image loaded and PC/SP initialized.
@@ -77,8 +89,17 @@ func (c *CPU) Step() error {
 	}
 	c.Instret++
 	nextPC := addr + 4
+	if c.WarmI != nil {
+		c.WarmI.Access(addr)
+	}
 
 	if !ins.Cond.Passes(c.F.N, c.F.Z, c.F.C, c.F.V) {
+		if c.WarmPred != nil && ins.Class == arm.ClassBranch {
+			// Annulled branches still resolve not-taken and train the
+			// predictor, matching the cycle models.
+			c.WarmPred.Predict(addr)
+			c.WarmPred.Update(addr, false, ins.Target())
+		}
 		c.R[arm.PC] = nextPC
 		return nil
 	}
@@ -123,6 +144,9 @@ func (c *CPU) Step() error {
 	case arm.ClassLoadStore:
 		base := c.reg(ins.Rn, addr)
 		ea, wb, doWB := ins.LSAddress(base, c.reg(ins.Rm, addr))
+		if c.WarmD != nil {
+			c.WarmD.Access(ea)
+		}
 		if ins.Load {
 			v := ins.LoadValue(c.Mem, ea)
 			if doWB && ins.Rn != arm.PC {
@@ -161,6 +185,9 @@ func (c *CPU) Step() error {
 			}
 			ea := addrs[k]
 			k++
+			if c.WarmD != nil {
+				c.WarmD.Access(ea)
+			}
 			if ins.Load {
 				v := c.Mem.Read32(ea)
 				if r == arm.PC {
@@ -185,6 +212,10 @@ func (c *CPU) Step() error {
 			c.R[arm.LR] = addr + 4
 		}
 		nextPC = ins.Target()
+		if c.WarmPred != nil {
+			c.WarmPred.Predict(addr)
+			c.WarmPred.Update(addr, true, nextPC)
+		}
 
 	case arm.ClassSystem:
 		if ins.Undefined() {

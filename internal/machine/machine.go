@@ -64,6 +64,7 @@ type Machine struct {
 	pc        uint32
 	seq       uint64
 	fetchHold *Inst // serializing instruction (SWI) holding fetch
+	holdFetch bool  // front end paused while draining to a checkpoint boundary
 
 	// Program results (must match the ISS golden model).
 	Output   []uint32
@@ -208,7 +209,7 @@ func (m *Machine) fail(format string, args ...any) {
 // advance the speculative PC. It returns nil while fetch is serialized
 // behind an in-flight SWI.
 func (m *Machine) fetchOne() *core.Token {
-	if m.Exited || m.fetchHold != nil {
+	if m.Exited || m.fetchHold != nil || m.holdFetch {
 		return nil
 	}
 	addr := m.pc

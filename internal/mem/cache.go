@@ -146,6 +146,41 @@ func (c *Cache) touch(base, way int) {
 	c.lru[base+way] = c.clock
 }
 
+// CacheState is a serializable snapshot of a cache's dynamic contents —
+// residency tags, LRU stamps and statistics, but not the geometry, which the
+// owning configuration defines. Checkpoints carry it as optional warm
+// microarchitectural state: restoring it reproduces the exact hit/miss
+// sequence the donor simulation would have seen.
+type CacheState struct {
+	Tags  []uint32
+	LRU   []uint64
+	Clock uint64
+	Stats CacheStats
+}
+
+// State returns a copy of the cache's dynamic state.
+func (c *Cache) State() CacheState {
+	return CacheState{
+		Tags:  append([]uint32(nil), c.tags...),
+		LRU:   append([]uint64(nil), c.lru...),
+		Clock: c.clock,
+		Stats: c.Stats,
+	}
+}
+
+// SetState installs a snapshot taken from a cache of identical geometry.
+func (c *Cache) SetState(st CacheState) error {
+	if len(st.Tags) != len(c.tags) || len(st.LRU) != len(c.lru) {
+		return fmt.Errorf("mem: %s: snapshot geometry %d/%d entries, cache has %d",
+			c.cfg.Name, len(st.Tags), len(st.LRU), len(c.tags))
+	}
+	copy(c.tags, st.Tags)
+	copy(c.lru, st.LRU)
+	c.clock = st.Clock
+	c.Stats = st.Stats
+	return nil
+}
+
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
 	for i := range c.tags {

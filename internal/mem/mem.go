@@ -12,6 +12,10 @@ const (
 	numPages = 1 << (32 - pageBits)
 )
 
+// PageBytes is the size of one sparse page — the granularity at which
+// checkpoints capture and restore memory contents.
+const PageBytes = pageSize
+
 // Memory is a sparse, paged, little-endian 32-bit address space. The zero
 // value is ready to use. Word accesses are aligned by the implementation
 // (low address bits ignored, as the ARM7 data path does).
@@ -82,6 +86,64 @@ func (m *Memory) Write32(addr uint32, v uint32) {
 	addr &^= 3
 	off := addr & (pageSize - 1)
 	binary.LittleEndian.PutUint32(m.page(addr)[off:off+4], v)
+}
+
+// ForEachPage calls f for every populated, non-zero page in ascending page
+// order with the page's base address and its PageBytes-sized contents. Pages
+// that were allocated but hold only zero bytes are skipped — they are
+// indistinguishable from untouched pages — so two memories with the same
+// byte contents always enumerate the same page sequence regardless of which
+// pages were ever touched (the property Digest relies on, extended to the
+// checkpoint codec: capture is canonical and deterministic). The slice
+// passed to f aliases live storage; f must not retain it.
+func (m *Memory) ForEachPage(f func(base uint32, data []byte)) {
+	for i, p := range m.pages {
+		if p == nil {
+			continue
+		}
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		f(uint32(i)<<pageBits, p[:])
+	}
+}
+
+// SetPage copies data (at most PageBytes) into the page containing base,
+// which must be page-aligned. Checkpoint restore uses it to install captured
+// pages wholesale instead of byte-at-a-time writes.
+func (m *Memory) SetPage(base uint32, data []byte) {
+	if len(data) > pageSize {
+		data = data[:pageSize]
+	}
+	p := m.page(base)
+	copy(p[:], data)
+	for i := len(data); i < pageSize; i++ {
+		p[i] = 0
+	}
+}
+
+// Reset drops every page, returning the memory to its zero state. A restored
+// simulation must start from here so no stale data survives from a previous
+// run (the warm-state symmetry the batch runner depends on).
+func (m *Memory) Reset() {
+	for i := range m.pages {
+		m.pages[i] = nil
+	}
+}
+
+// CopyFrom makes m an exact copy of src's contents (Reset + page copies).
+func (m *Memory) CopyFrom(src *Memory) {
+	m.Reset()
+	src.ForEachPage(func(base uint32, data []byte) {
+		m.SetPage(base, data)
+	})
 }
 
 // Digest returns an FNV-1a hash over the populated address space, walking

@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestForEachPageCanonical: only populated, non-zero pages appear, in
+// ascending order — the same canonical set Digest hashes.
+func TestForEachPageCanonical(t *testing.T) {
+	m := New()
+	m.Write32(5*PageBytes+4, 0xdeadbeef)
+	m.Write32(1*PageBytes, 0x1234)
+	m.Write32(9*PageBytes+96, 1)
+	// A touched-then-zeroed page must not appear.
+	m.Write32(3*PageBytes, 7)
+	m.Write32(3*PageBytes, 0)
+
+	var bases []uint32
+	m.ForEachPage(func(base uint32, data []byte) {
+		bases = append(bases, base)
+		if len(data) != PageBytes {
+			t.Fatalf("page %#x: %d bytes", base, len(data))
+		}
+	})
+	want := []uint32{1 * PageBytes, 5 * PageBytes, 9 * PageBytes}
+	if !reflect.DeepEqual(bases, want) {
+		t.Fatalf("bases %#v, want %#v", bases, want)
+	}
+}
+
+// TestSetPageRoundTrip: capture -> Reset -> SetPage reproduces the digest.
+func TestSetPageRoundTrip(t *testing.T) {
+	m := New()
+	for i := uint32(0); i < 2000; i += 7 {
+		m.Write32(i*52, i*i+1)
+	}
+	want := m.Digest()
+
+	type page struct {
+		base uint32
+		data []byte
+	}
+	var pages []page
+	m.ForEachPage(func(base uint32, data []byte) {
+		pages = append(pages, page{base, append([]byte(nil), data...)})
+	})
+
+	m.Reset()
+	if m.Digest() == want {
+		t.Fatal("reset did not change a populated memory's digest")
+	}
+	for _, p := range pages {
+		m.SetPage(p.base, p.data)
+	}
+	if m.Digest() != want {
+		t.Fatal("digest differs after capture/reset/restore")
+	}
+}
+
+// TestSetPageShortData: a short page is zero-filled to the page size.
+func TestSetPageShortData(t *testing.T) {
+	m := New()
+	m.Write32(PageBytes+PageBytes-4, 0xffffffff)
+	m.SetPage(PageBytes, []byte{1, 2})
+	if got := m.Read8(PageBytes); got != 1 {
+		t.Fatalf("byte 0 = %d", got)
+	}
+	if got := m.Read32(PageBytes + PageBytes - 4); got != 0 {
+		t.Fatalf("tail not zero-filled: %#x", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New()
+	for i := uint32(0); i < 300; i++ {
+		a.Write32(i*4096, i+1)
+	}
+	b := New()
+	b.Write32(77, 1) // pre-existing content must be dropped
+	b.CopyFrom(a)
+	if a.Digest() != b.Digest() {
+		t.Fatal("CopyFrom digest mismatch")
+	}
+	// The copy must be independent storage.
+	b.Write32(0, 0xabcdef)
+	if a.Read32(0) == 0xabcdef {
+		t.Fatal("CopyFrom aliased the source pages")
+	}
+}
+
+// TestCacheStateRoundTrip: a cache restored from a snapshot behaves
+// identically to the donor on the same access stream.
+func TestCacheStateRoundTrip(t *testing.T) {
+	cfg := CacheConfig{Name: "c", Sets: 8, Ways: 2, LineBytes: 32,
+		HitLatency: 1, MissLatency: 20}
+	donor := MustCache(cfg)
+	for i := uint32(0); i < 500; i++ {
+		donor.Access(i * 52 % 4096)
+	}
+	st := donor.State()
+
+	twin := MustCache(cfg)
+	if err := twin.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 500; i++ {
+		addr := i * 97 % 4096
+		if a, b := donor.Access(addr), twin.Access(addr); a != b {
+			t.Fatalf("access %#x: donor latency %d, twin %d", addr, a, b)
+		}
+	}
+	if donor.Stats != twin.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", donor.Stats, twin.Stats)
+	}
+
+	// State must be a copy, not an alias.
+	st2 := donor.State()
+	st2.Tags[0] = ^st2.Tags[0]
+	if donor.State().Tags[0] == st2.Tags[0] {
+		t.Fatal("State aliases live cache storage")
+	}
+}
+
+// TestCacheSetStateGeometry: snapshots only restore into matching geometry.
+func TestCacheSetStateGeometry(t *testing.T) {
+	a := MustCache(CacheConfig{Name: "a", Sets: 8, Ways: 2, LineBytes: 32,
+		HitLatency: 1, MissLatency: 20})
+	b := MustCache(CacheConfig{Name: "b", Sets: 4, Ways: 2, LineBytes: 32,
+		HitLatency: 1, MissLatency: 20})
+	if err := b.SetState(a.State()); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+// TestCacheResetSymmetry: Reset returns a used cache to its
+// post-construction state.
+func TestCacheResetSymmetry(t *testing.T) {
+	cfg := CacheConfig{Name: "c", Sets: 4, Ways: 4, LineBytes: 16,
+		HitLatency: 1, MissLatency: 10}
+	used := MustCache(cfg)
+	for i := uint32(0); i < 100; i++ {
+		used.Access(i * 64)
+	}
+	used.Reset()
+	if !reflect.DeepEqual(used.State(), MustCache(cfg).State()) {
+		t.Fatal("reset cache state differs from a fresh cache")
+	}
+}

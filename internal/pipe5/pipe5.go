@@ -68,6 +68,7 @@ type Sim struct {
 	pc        uint32
 	seq       uint64
 	fetchHold uint64 // seq of the serializing instruction, 0 if none
+	holdFetch bool   // front end paused while draining to a checkpoint boundary
 
 	fq, dx, mx, wx *slot // IF->ID, ID->EX, EX->MEM, MEM->WB latches
 

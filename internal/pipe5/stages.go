@@ -306,7 +306,7 @@ func mulCycles(rs uint32) int64 {
 // ---- IF ----------------------------------------------------------------
 
 func (s *Sim) stageIF() {
-	if s.Exited || s.fetchHold != 0 || s.fq != nil {
+	if s.Exited || s.fetchHold != 0 || s.fq != nil || s.holdFetch {
 		return
 	}
 	addr := s.pc

@@ -116,6 +116,28 @@ func (f *File) PendingWriter(i int) *Ref {
 // PendingWriters returns how many writers are outstanding on cell i.
 func (f *File) PendingWriters(i int) int { return len(f.writers[i]) }
 
+// Values returns a copy of every cell's architected value (checkpoint
+// capture). Pending-writer bookkeeping is deliberately not captured: the
+// paper's drained-pipeline boundary is exactly the point where no writer
+// reservations exist, so architected values are the whole state.
+func (f *File) Values() []uint32 { return append([]uint32(nil), f.vals...) }
+
+// SetValues overwrites every cell's architected value and drops all hazard
+// bookkeeping, including the out-of-order writeback generation stamps
+// (checkpoint restore at a drained boundary).
+func (f *File) SetValues(vals []uint32) error {
+	if len(vals) != len(f.vals) {
+		return fmt.Errorf("reg: %s: restoring %d values into %d cells", f.name, len(vals), len(f.vals))
+	}
+	copy(f.vals, vals)
+	f.ClearHazards()
+	for i := range f.genCtr {
+		f.genCtr[i] = 0
+		f.wbGen[i] = 0
+	}
+	return nil
+}
+
 // ClearHazards drops all writer reservations (whole-pipeline reset support).
 func (f *File) ClearHazards() {
 	for i := range f.writers {

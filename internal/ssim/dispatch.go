@@ -241,7 +241,7 @@ func outputRegs(ins *arm.Instr, buf []int) []int {
 func (s *Sim) fetch() {
 	// Fetch keeps running down the predicted path during misspeculation;
 	// it only pauses for the one-cycle redirect after recovery.
-	if s.oracle.Exited || s.Cycles < s.refetchAt {
+	if s.oracle.Exited || s.Cycles < s.refetchAt || s.holdFetch {
 		return
 	}
 	for n := 0; n < s.cfg.Width && len(s.ifq) < s.cfg.IFQSize; n++ {

@@ -105,6 +105,7 @@ type Sim struct {
 	ifq       []fetchSlot
 	recover   *ruuEntry // mispredicted branch blocking the front end
 	refetchAt int64     // cycle fetch may resume after recovery
+	holdFetch bool      // front end paused while draining to a checkpoint boundary
 
 	// RUU window, oldest first.
 	ruu []*ruuEntry
