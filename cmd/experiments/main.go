@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -137,7 +138,7 @@ func measure(set *stats.Set, scale int) {
 			r, w, p, want := r, w, p, golden.Instret
 			jobs = append(jobs, batch.Job{
 				Simulator: r.name, Workload: w.Name,
-				Run: func() (batch.Metrics, error) {
+				Run: func(context.Context) (batch.Metrics, error) {
 					cycles, instret, err := r.run(p)
 					if err != nil {
 						return batch.Metrics{}, err

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"rcpn/internal/machine"
 	"rcpn/internal/mem"
 	"rcpn/internal/pipe5"
+	"rcpn/internal/simrun"
 	"rcpn/internal/ssim"
 	"rcpn/internal/stats"
 	"rcpn/internal/workload"
@@ -123,10 +125,12 @@ func intervalSuffix(r batch.Result) string {
 
 // simdef describes one measured simulator: how to run it to completion, how
 // to build geometry-matched warm units for ISS fast-forwarding, and how to
-// run a detailed interval from a checkpoint.
+// run a detailed interval from a checkpoint. Full runs go through
+// batch.Drive, so a per-job deadline or a canceled sweep stops the
+// simulator at the next chunk boundary instead of leaking the goroutine.
 type simdef struct {
 	name string
-	full func(p *arm.Program) (batch.Metrics, error)
+	full func(ctx context.Context, p *arm.Program) (batch.Metrics, error)
 	// warm returns I-cache, D-cache and predictor instances matching the
 	// simulator's default geometry, for attachment to the functional ISS.
 	warm func() (*mem.Cache, *mem.Cache, bpred.Predictor)
@@ -140,9 +144,9 @@ func allSims() []simdef {
 	return []simdef{
 		{
 			name: "SimpleScalar-Arm",
-			full: func(p *arm.Program) (batch.Metrics, error) {
+			full: func(ctx context.Context, p *arm.Program) (batch.Metrics, error) {
 				s := ssim.New(p, ssim.Config{})
-				err := s.Run(0)
+				err := batch.Drive(ctx, simrun.SSim(s), 0, 0, nil)
 				return batch.Metrics{Cycles: s.Cycles, Instret: s.Instret}, err
 			},
 			warm: func() (*mem.Cache, *mem.Cache, bpred.Predictor) {
@@ -161,9 +165,9 @@ func allSims() []simdef {
 		},
 		{
 			name: "RCPN-XScale",
-			full: func(p *arm.Program) (batch.Metrics, error) {
+			full: func(ctx context.Context, p *arm.Program) (batch.Metrics, error) {
 				m := machine.NewXScale(p, machine.Config{})
-				err := m.Run(0)
+				err := batch.Drive(ctx, simrun.Machine(m), 0, 0, nil)
 				return batch.Metrics{Cycles: m.Net.CycleCount(), Instret: m.Instret}, err
 			},
 			warm: func() (*mem.Cache, *mem.Cache, bpred.Predictor) {
@@ -182,9 +186,9 @@ func allSims() []simdef {
 		},
 		{
 			name: "RCPN-StrongARM",
-			full: func(p *arm.Program) (batch.Metrics, error) {
+			full: func(ctx context.Context, p *arm.Program) (batch.Metrics, error) {
 				m := machine.NewStrongARM(p, machine.Config{})
-				err := m.Run(0)
+				err := batch.Drive(ctx, simrun.Machine(m), 0, 0, nil)
 				return batch.Metrics{Cycles: m.Net.CycleCount(), Instret: m.Instret}, err
 			},
 			warm: func() (*mem.Cache, *mem.Cache, bpred.Predictor) {
@@ -203,9 +207,9 @@ func allSims() []simdef {
 		},
 		{
 			name: "hand-written-5stage",
-			full: func(p *arm.Program) (batch.Metrics, error) {
+			full: func(ctx context.Context, p *arm.Program) (batch.Metrics, error) {
 				s := pipe5.New(p, pipe5.Config{})
-				err := s.Run(0)
+				err := batch.Drive(ctx, simrun.Pipe5(s), 0, 0, nil)
 				return batch.Metrics{Cycles: s.Cycles, Instret: s.Instret}, err
 			},
 			warm: func() (*mem.Cache, *mem.Cache, bpred.Predictor) {
@@ -277,7 +281,7 @@ func runMatrix(sims []simdef, works []*workload.Workload, scale int, opt batch.O
 			s, w := s, w
 			jobs = append(jobs, batch.Job{
 				Simulator: s.name, Workload: w.Name,
-				Run: func() (batch.Metrics, error) { return s.full(p) },
+				Run: func(ctx context.Context) (batch.Metrics, error) { return s.full(ctx, p) },
 			})
 		}
 	}
@@ -328,7 +332,7 @@ func runSample(sims []simdef, works []*workload.Workload, scale int, k int, ilen
 			c.full = len(jobsList)
 			jobsList = append(jobsList, batch.Job{
 				Simulator: s.name, Workload: w.Name, Interval: "full",
-				Run: func() (batch.Metrics, error) { return s.full(p) },
+				Run: func(ctx context.Context) (batch.Metrics, error) { return s.full(ctx, p) },
 			})
 			for i := 0; i < k; i++ {
 				start := total * uint64(i) / uint64(k)
@@ -336,7 +340,7 @@ func runSample(sims []simdef, works []*workload.Workload, scale int, k int, ilen
 				c.ivs = append(c.ivs, len(jobsList))
 				jobsList = append(jobsList, batch.Job{
 					Simulator: s.name, Workload: w.Name, Interval: label,
-					Run: func() (batch.Metrics, error) {
+					Run: func(ctx context.Context) (batch.Metrics, error) {
 						return sampleInterval(s, p, start, ilen)
 					},
 				})
@@ -385,7 +389,10 @@ func runSample(sims []simdef, works []*workload.Workload, scale int, k int, ilen
 
 // sampleInterval is the body of one interval job: functional fast-forward
 // with warming, checkpoint through the binary codec (exercising the
-// serialization path end to end), detailed handoff, measure.
+// serialization path end to end), detailed handoff, measure. Intervals are
+// short (tens of thousands of instructions), so they run without
+// cancellation checks; the per-job deadline still bounds them through the
+// pool's grace fallback.
 func sampleInterval(s simdef, p *arm.Program, start, ilen uint64) (batch.Metrics, error) {
 	c := iss.New(p, 0)
 	c.WarmI, c.WarmD, c.WarmPred = s.warm()

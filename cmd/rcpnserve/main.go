@@ -1,0 +1,76 @@
+// Command rcpnserve runs the simulation service: an HTTP API over every
+// simulator in this repository, with content-addressed result caching,
+// bounded-queue backpressure and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	rcpnserve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	          [-timeout 5m] [-drain 30s] [-maxcycles N]
+//
+// API (see DESIGN.md §8 and the README quickstart):
+//
+//	POST /v1/jobs            submit a job spec; 202 + content-addressed id,
+//	                         429 + Retry-After when the queue is full
+//	GET  /v1/jobs/{id}       job state; rcpn-batch/v1 result when finished
+//	GET  /v1/jobs/{id}/events  SSE progress (cycles retired, Mcycles/s)
+//	GET  /v1/metrics         queue depth, job states, cache hit/miss, ...
+//	GET  /healthz            200 ok, 503 while draining
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rcpn/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue = HTTP 429)")
+	cache := flag.Int("cache", 1024, "result cache entries")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-job deadline")
+	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	maxCycles := flag.Int64("maxcycles", 1<<32, "default per-job cycle cap (when the spec sets none)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		JobTimeout:   *timeout,
+		MaxCycles:    *maxCycles,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintf(os.Stderr, "rcpnserve: draining (grace %v)\n", *drain)
+		// Stop admitting and let in-flight work finish (or get canceled at
+		// the grace deadline) while the listener keeps serving GETs, so
+		// clients can still collect results; then close the listener.
+		srv.Drain(*drain)
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx) //nolint:errcheck // best-effort close
+		fmt.Fprintln(os.Stderr, "rcpnserve: drained")
+	}()
+
+	fmt.Fprintf(os.Stderr, "rcpnserve: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "rcpnserve:", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+}

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	rcpnsim [-sim strongarm|xscale|arm9|ssim|pipe5|func|iss] [-scale N]
-//	        [-trace N] [-util] [-emit] (-bench name | file.s)
+//	        [-trace N] [-util] [-emit] [-json] (-bench name | file.s)
+//
+// With -json the human-readable report is replaced by a one-job
+// rcpn-batch/v1 record on stdout — the same schema cmd/rcpnbatch and the
+// rcpnserve job API emit, so CLI, batch and service outputs diff directly.
 //
 // Examples:
 //
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"rcpn/internal/arm"
+	"rcpn/internal/batch"
 	"rcpn/internal/iss"
 	"rcpn/internal/machine"
 	"rcpn/internal/pipe5"
@@ -35,6 +40,7 @@ func main() {
 	emit := flag.Bool("emit", false, "print the program's emitted output words")
 	trace := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles (strongarm/xscale)")
 	util := flag.Bool("util", false, "print per-transition utilization (RCPN models)")
+	jsonOut := flag.Bool("json", false, "emit a one-job rcpn-batch/v1 JSON record instead of the text report")
 	flag.Parse()
 
 	var (
@@ -135,6 +141,24 @@ func main() {
 	wall := time.Since(start)
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonOut {
+		wl := *bench
+		if wl == "" {
+			wl = flag.Arg(0)
+		}
+		rep := &batch.Report{Workers: 1, Wall: wall, Results: []batch.Result{{
+			Simulator: *sim, Workload: wl,
+			Metrics: batch.Metrics{Cycles: cycles, Instret: instret},
+			Wall:    wall,
+		}}}
+		data, jerr := rep.JSON(false)
+		if jerr != nil {
+			fail(jerr)
+		}
+		os.Stdout.Write(data)
+		return
 	}
 
 	fmt.Printf("simulator:      %s\n", *sim)

@@ -12,9 +12,18 @@
 // is independent of scheduling. Each job runs under a panic handler and an
 // optional deadline; one wedged or crashing configuration cannot take down a
 // sweep.
+//
+// Cancellation is cooperative: every job body receives a context that
+// carries the per-job deadline and the sweep-wide Options.Context. Job
+// bodies that drive their simulator through Drive (or otherwise poll the
+// context) stop at the next chunk boundary when the deadline passes or the
+// sweep is canceled; bodies that ignore the context are abandoned after a
+// grace window, as before.
 package batch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,7 +53,10 @@ func (m Metrics) CPI() float64 {
 // simulator (from a program or a checkpoint), runs it, and returns the
 // measurements. Run must be self-contained — it is called exactly once, on an
 // arbitrary worker goroutine, and must not share mutable state with other
-// jobs.
+// jobs. The context carries the job's deadline and the sweep's cancellation;
+// a body that wants timeouts to actually stop the simulator (rather than
+// leak the goroutine) should check it at a coarse granularity, e.g. by
+// running the simulator through Drive.
 type Job struct {
 	Simulator string
 	Workload  string
@@ -52,7 +64,7 @@ type Job struct {
 	Interval  string // sampling-interval label ("" for full runs)
 	// Timeout overrides Options.Timeout for this job (0 = inherit).
 	Timeout time.Duration
-	Run     func() (Metrics, error)
+	Run     func(ctx context.Context) (Metrics, error)
 }
 
 // label renders the cell coordinates for error messages.
@@ -79,6 +91,9 @@ type Result struct {
 	Err      string
 	Panicked bool
 	TimedOut bool
+	// Canceled means the sweep's context was canceled before or while the
+	// job ran (drain path), as opposed to the job's own deadline expiring.
+	Canceled bool
 }
 
 // Options configures a pool run.
@@ -87,10 +102,21 @@ type Options struct {
 	Workers int
 	// Timeout is the default per-job deadline; 0 means no deadline.
 	Timeout time.Duration
+	// Context, when non-nil, cancels the whole sweep: jobs not yet started
+	// complete immediately with Canceled set, and running jobs see the
+	// cancellation through their context. nil means context.Background().
+	Context context.Context
 	// Progress, when set, is called after each job completes with the number
 	// done so far and the total. Calls are serialized but arrive in
 	// completion order, not submission order.
 	Progress func(done, total int, r Result)
+}
+
+func (opt *Options) parent() context.Context {
+	if opt.Context != nil {
+		return opt.Context
+	}
+	return context.Background()
 }
 
 // Report is the aggregated outcome of a Run: one Result per job, in
@@ -115,6 +141,7 @@ func Run(jobs []Job, opt Options) *Report {
 	}
 	rep := &Report{Results: make([]Result, len(jobs)), Workers: workers}
 	start := time.Now()
+	parent := opt.parent()
 
 	var next atomic.Int64
 	var done atomic.Int64
@@ -129,7 +156,7 @@ func Run(jobs []Job, opt Options) *Report {
 				if i >= len(jobs) {
 					return
 				}
-				r := runOne(&jobs[i], opt.Timeout)
+				r := runOne(&jobs[i], parent, opt.Timeout)
 				rep.Results[i] = r
 				n := int(done.Add(1))
 				if opt.Progress != nil {
@@ -145,15 +172,43 @@ func Run(jobs []Job, opt Options) *Report {
 	return rep
 }
 
-// runOne executes a single job under panic recovery and an optional deadline.
-func runOne(j *Job, defTimeout time.Duration) Result {
+// graceFor is how long after a job's deadline runOne waits for a
+// cooperative body to report back before abandoning its goroutine: long
+// enough to cover a Drive chunk, short enough not to stall the sweep on a
+// body that ignores its context.
+func graceFor(timeout time.Duration) time.Duration {
+	g := timeout
+	if g < 50*time.Millisecond {
+		g = 50 * time.Millisecond
+	}
+	if g > 2*time.Second {
+		g = 2 * time.Second
+	}
+	return g
+}
+
+// runOne executes a single job under panic recovery, the sweep context and
+// an optional deadline.
+func runOne(j *Job, parent context.Context, defTimeout time.Duration) Result {
 	r := Result{Simulator: j.Simulator, Workload: j.Workload,
 		Config: j.Config, Interval: j.Interval}
+	if err := parent.Err(); err != nil {
+		// Sweep already canceled: don't start the job at all.
+		r.Canceled = true
+		r.Err = fmt.Sprintf("%s: %v", j.label(), err)
+		return r
+	}
 	timeout := j.Timeout
 	if timeout == 0 {
 		timeout = defTimeout
 	}
 	start := time.Now()
+
+	ctx, cancel := parent, context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, timeout)
+	}
+	defer cancel()
 
 	type outcome struct {
 		m        Metrics
@@ -172,37 +227,52 @@ func runOne(j *Job, defTimeout time.Duration) Result {
 			}
 			ch <- o
 		}()
-		o.m, o.err = j.Run()
+		o.m, o.err = j.Run(ctx)
 	}()
+
+	record := func(o outcome) {
+		r.Metrics, r.Panicked = o.m, o.panicked
+		if o.err != nil {
+			switch {
+			case errors.Is(o.err, context.DeadlineExceeded):
+				r.TimedOut = true
+			case errors.Is(o.err, context.Canceled):
+				r.Canceled = true
+			}
+			r.Err = fmt.Sprintf("%s: %v", j.label(), o.err)
+		}
+	}
 
 	if timeout > 0 {
 		timer := time.NewTimer(timeout)
 		defer timer.Stop()
 		select {
 		case o := <-ch:
-			r.Metrics, r.Panicked = o.m, o.panicked
-			if o.err != nil {
-				r.Err = fmt.Sprintf("%s: %v", j.label(), o.err)
-			}
+			record(o)
 		case <-timer.C:
-			// The job goroutine is abandoned; the simulators have no
-			// cancellation hook, so a truly wedged job leaks its goroutine.
-			// That is the accepted cost of keeping the sweep alive.
-			r.TimedOut = true
-			r.Err = fmt.Sprintf("%s: timed out after %v", j.label(), timeout)
+			// Deadline hit. A cooperative body stops at its next chunk
+			// boundary and reports partial metrics; give it a grace window
+			// before falling back to abandoning the goroutine.
+			grace := time.NewTimer(graceFor(timeout))
+			defer grace.Stop()
+			select {
+			case o := <-ch:
+				record(o)
+				r.TimedOut = true
+			case <-grace.C:
+				r.TimedOut = true
+				r.Err = fmt.Sprintf("%s: timed out after %v (job ignores its context; goroutine abandoned)",
+					j.label(), timeout)
+			}
 		}
 	} else {
-		o := <-ch
-		r.Metrics, r.Panicked = o.m, o.panicked
-		if o.err != nil {
-			r.Err = fmt.Sprintf("%s: %v", j.label(), o.err)
-		}
+		record(<-ch)
 	}
 	r.Wall = time.Since(start)
 	return r
 }
 
-// Failed returns the results that did not succeed.
+// Failed returns the results that did not succeed, in submission order.
 func (rep *Report) Failed() []Result {
 	var out []Result
 	for _, r := range rep.Results {

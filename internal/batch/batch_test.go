@@ -2,6 +2,7 @@ package batch
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ func fakeJobs(n int) []Job {
 		jobs[i] = Job{
 			Simulator: fmt.Sprintf("sim%d", i%3),
 			Workload:  fmt.Sprintf("wl%d", i/3),
-			Run: func() (Metrics, error) {
+			Run: func(ctx context.Context) (Metrics, error) {
 				// Reverse-staggered sleeps: late-submitted jobs finish first
 				// under parallelism.
 				time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
@@ -77,7 +78,7 @@ func TestResultsInSubmissionOrder(t *testing.T) {
 // the pool or the process.
 func TestPanicRecovery(t *testing.T) {
 	jobs := fakeJobs(6)
-	jobs[2].Run = func() (Metrics, error) { panic("simulated simulator bug") }
+	jobs[2].Run = func(ctx context.Context) (Metrics, error) { panic("simulated simulator bug") }
 	rep := Run(jobs, Options{Workers: 3})
 
 	r := rep.Results[2]
@@ -100,7 +101,7 @@ func TestTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	jobs := fakeJobs(4)
-	jobs[1].Run = func() (Metrics, error) { <-block; return Metrics{}, nil }
+	jobs[1].Run = func(ctx context.Context) (Metrics, error) { <-block; return Metrics{}, nil }
 	jobs[1].Timeout = 30 * time.Millisecond
 
 	rep := Run(jobs, Options{Workers: 2, Timeout: 10 * time.Second})
@@ -143,9 +144,9 @@ func TestProgress(t *testing.T) {
 func TestStatsSet(t *testing.T) {
 	jobs := []Job{
 		{Simulator: "s", Workload: "w", Config: "c", Interval: "k0",
-			Run: func() (Metrics, error) { return Metrics{Cycles: 10, Instret: 5}, nil }},
+			Run: func(ctx context.Context) (Metrics, error) { return Metrics{Cycles: 10, Instret: 5}, nil }},
 		{Simulator: "s", Workload: "w2",
-			Run: func() (Metrics, error) { return Metrics{}, fmt.Errorf("boom") }},
+			Run: func(ctx context.Context) (Metrics, error) { return Metrics{}, fmt.Errorf("boom") }},
 	}
 	set := Run(jobs, Options{Workers: 1}).StatsSet()
 	if len(set.Runs) != 1 {
@@ -162,19 +163,19 @@ func TestSingleWorkerOrder(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
 	jobs := []Job{
-		{Simulator: "a", Workload: "w", Run: func() (Metrics, error) {
+		{Simulator: "a", Workload: "w", Run: func(ctx context.Context) (Metrics, error) {
 			mu.Lock()
 			order = append(order, "a")
 			mu.Unlock()
 			return Metrics{}, nil
 		}},
-		{Simulator: "b", Workload: "w", Run: func() (Metrics, error) {
+		{Simulator: "b", Workload: "w", Run: func(ctx context.Context) (Metrics, error) {
 			mu.Lock()
 			order = append(order, "b")
 			mu.Unlock()
 			return Metrics{}, nil
 		}},
-		{Simulator: "c", Workload: "w", Run: func() (Metrics, error) {
+		{Simulator: "c", Workload: "w", Run: func(ctx context.Context) (Metrics, error) {
 			mu.Lock()
 			order = append(order, "c")
 			mu.Unlock()

@@ -1,0 +1,68 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+)
+
+// Stepper is the minimal chunked-execution surface of a simulator. The
+// concrete simulators all expose a "run until a cumulative limit" loop
+// (cycles for the detailed models, instructions for the functional ones);
+// a Stepper adapts that loop so a driver can interleave limit-sized bursts
+// with context checks and progress reports without perturbing the
+// simulation: the sequence of simulated steps is identical no matter where
+// the chunk boundaries fall.
+type Stepper interface {
+	// Pos is the cumulative position in the unit StepTo limits by
+	// (cycles for detailed simulators, instructions for functional ones).
+	Pos() int64
+	// StepTo advances the simulation until Pos() >= limit, the program
+	// exits, or a simulation error occurs. Reaching the limit is not an
+	// error; exited reports program completion.
+	StepTo(limit int64) (exited bool, err error)
+	// Progress returns the cumulative (cycles, instructions) so far.
+	// Purely functional simulators report zero cycles.
+	Progress() (cycles int64, instret uint64)
+}
+
+// DefaultChunk is the burst length Drive uses between context checks when
+// the caller passes chunk <= 0. At typical simulation speeds (a few Mcycles
+// per second and up) this bounds cancellation latency to well under a
+// second while keeping the check overhead unmeasurable.
+const DefaultChunk = 1 << 18
+
+// Drive runs s to completion in chunk-sized bursts, checking ctx between
+// bursts and reporting cumulative progress after each one. It returns nil
+// when the program exits, ctx.Err() when canceled or past its deadline
+// (the coarse cycle-granularity deadline check: the simulator actually
+// stops, nothing is leaked), or an error when the simulation fails or
+// exceeds cap (a cumulative position cap; 0 = none).
+func Drive(ctx context.Context, s Stepper, cap, chunk int64, progress func(cycles int64, instret uint64)) error {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		limit := s.Pos() + chunk
+		if cap > 0 && limit > cap {
+			limit = cap
+		}
+		exited, err := s.StepTo(limit)
+		if progress != nil {
+			c, i := s.Progress()
+			progress(c, i)
+		}
+		if err != nil {
+			return err
+		}
+		if exited {
+			return nil
+		}
+		if cap > 0 && s.Pos() >= cap {
+			c, i := s.Progress()
+			return fmt.Errorf("batch: cap %d exceeded (cycles %d, instructions %d)", cap, c, i)
+		}
+	}
+}

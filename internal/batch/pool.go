@@ -1,0 +1,105 @@
+package batch
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Run covers the fixed-matrix case: all jobs known up front, one Report at
+// the end. Pool is the streaming counterpart for long-lived callers (the
+// simulation service): jobs arrive one at a time, wait in a bounded FIFO
+// queue, and complete through a per-job callback. The bounded queue is the
+// backpressure mechanism — TrySubmit refuses instead of buffering without
+// limit, so an overloaded caller can shed load (HTTP 429) rather than grow
+// memory.
+
+// ErrQueueFull is returned by TrySubmit when the queue is at capacity.
+var ErrQueueFull = errors.New("batch: queue full")
+
+// ErrPoolClosed is returned by TrySubmit after Close.
+var ErrPoolClosed = errors.New("batch: pool closed")
+
+type poolItem struct {
+	job  Job
+	done func(Result)
+}
+
+// Pool is a fixed set of workers draining a bounded FIFO job queue. Jobs
+// run with the same isolation as Run: panic recovery, the per-job deadline
+// from Options, and the sweep-wide Options.Context.
+type Pool struct {
+	queue chan poolItem
+	opt   Options
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts the workers. queueDepth bounds the jobs waiting to be
+// claimed (minimum 1); Options.Workers sizes the pool as in Run.
+func NewPool(queueDepth int, opt Options) *Pool {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{queue: make(chan poolItem, queueDepth), opt: opt}
+	for w := 0; w < opt.Workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for it := range p.queue {
+				r := runOne(&it.job, p.opt.parent(), p.opt.Timeout)
+				if it.done != nil {
+					it.done(r)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Workers is the pool's concurrency.
+func (p *Pool) Workers() int { return p.opt.Workers }
+
+// Depth is the number of jobs waiting in the queue (claimed jobs excluded).
+func (p *Pool) Depth() int { return len(p.queue) }
+
+// Cap is the queue capacity.
+func (p *Pool) Cap() int { return cap(p.queue) }
+
+// TrySubmit enqueues a job without blocking. done, when non-nil, is called
+// exactly once with the job's result, on the worker goroutine that ran it.
+// ErrQueueFull means the caller should shed or retry; ErrPoolClosed means
+// the pool is draining or closed.
+func (p *Pool) TrySubmit(j Job, done func(Result)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- poolItem{job: j, done: done}:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Close stops admission, runs every already-queued job to completion, and
+// waits for the workers to exit. Queued jobs still run under
+// Options.Context — cancel it (e.g. after a drain grace period) to turn the
+// remaining queue into fast Canceled results instead of full runs. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,152 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingJob returns a job that holds its worker until release is closed.
+func blockingJob(name string, release <-chan struct{}) Job {
+	return Job{Simulator: name, Workload: "w",
+		Run: func(ctx context.Context) (Metrics, error) {
+			select {
+			case <-release:
+				return Metrics{Cycles: 1}, nil
+			case <-ctx.Done():
+				return Metrics{}, ctx.Err()
+			}
+		}}
+}
+
+// TestPoolBackpressure: with one busy worker and a one-slot queue, the
+// third submission is refused with ErrQueueFull instead of buffering.
+func TestPoolBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	p := NewPool(1, Options{Workers: 1})
+	defer p.Close()
+
+	var mu sync.Mutex
+	results := map[string]Result{}
+	record := func(r Result) { mu.Lock(); results[r.Simulator] = r; mu.Unlock() }
+
+	if err := p.TrySubmit(blockingJob("a", release), record); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker has claimed "a" so "b" occupies the queue alone.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never claimed the first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.TrySubmit(blockingJob("b", release), record); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmit(blockingJob("c", release), record); err != ErrQueueFull {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2 (a and b)", len(results))
+	}
+	for name, r := range results {
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %s", name, r.Err)
+		}
+	}
+}
+
+// TestPoolCloseRejects: Close stops admission and drains queued work.
+func TestPoolCloseRejects(t *testing.T) {
+	p := NewPool(4, Options{Workers: 2})
+	done := make(chan Result, 8)
+	for i := 0; i < 4; i++ {
+		j := Job{Simulator: fmt.Sprintf("s%d", i), Workload: "w",
+			Run: func(ctx context.Context) (Metrics, error) { return Metrics{Cycles: 7}, nil }}
+		if err := p.TrySubmit(j, func(r Result) { done <- r }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if err := p.TrySubmit(Job{}, nil); err != ErrPoolClosed {
+		t.Fatalf("submit after close: err = %v, want ErrPoolClosed", err)
+	}
+	if len(done) != 4 {
+		t.Fatalf("%d results after Close, want 4 (queued work must drain)", len(done))
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolHardCancel: canceling Options.Context while jobs block turns the
+// in-flight jobs into prompt Canceled results and lets Close return — the
+// drain-deadline path of the service.
+func TestPoolHardCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(8, Options{Workers: 2, Context: ctx})
+	never := make(chan struct{}) // jobs block until canceled
+	defer close(never)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var canceled int
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		err := p.TrySubmit(blockingJob(fmt.Sprintf("s%d", i), never), func(r Result) {
+			mu.Lock()
+			if r.Canceled {
+				canceled++
+			}
+			mu.Unlock()
+			wg.Done()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after hard cancel")
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if canceled != 6 {
+		t.Fatalf("canceled = %d, want 6", canceled)
+	}
+}
+
+// TestFailedOrdering: Failed() preserves submission order even when
+// completion order is scrambled by parallelism — downstream tooling keys
+// on that for stable diffs.
+func TestFailedOrdering(t *testing.T) {
+	jobs := fakeJobs(12)
+	for _, i := range []int{1, 5, 9} {
+		i := i
+		jobs[i].Run = func(ctx context.Context) (Metrics, error) {
+			time.Sleep(time.Duration(12-i) * time.Millisecond)
+			return Metrics{}, fmt.Errorf("fail-%d", i)
+		}
+	}
+	rep := Run(jobs, Options{Workers: 6})
+	failed := rep.Failed()
+	if len(failed) != 3 {
+		t.Fatalf("Failed() = %d results, want 3", len(failed))
+	}
+	for k, want := range []int{1, 5, 9} {
+		if got := failed[k].Err; !strings.Contains(got, fmt.Sprintf("fail-%d", want)) {
+			t.Fatalf("failed[%d] = %q, want fail-%d (submission order)", k, got, want)
+		}
+	}
+}

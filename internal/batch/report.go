@@ -30,6 +30,7 @@ type jsonJob struct {
 	Error     string             `json:"error,omitempty"`
 	Panicked  bool               `json:"panicked,omitempty"`
 	TimedOut  bool               `json:"timed_out,omitempty"`
+	Canceled  bool               `json:"canceled,omitempty"`
 	WallSecs  float64            `json:"wall_seconds,omitempty"`
 }
 
@@ -56,7 +57,7 @@ func (rep *Report) JSON(includeWall bool) ([]byte, error) {
 			Config: r.Config, Interval: r.Interval,
 			Cycles: r.Cycles, Instret: r.Instret, CPI: r.CPI(),
 			Extra: r.Extra, Error: r.Err,
-			Panicked: r.Panicked, TimedOut: r.TimedOut,
+			Panicked: r.Panicked, TimedOut: r.TimedOut, Canceled: r.Canceled,
 		}
 		if includeWall {
 			j.WallSecs = r.Wall.Seconds()

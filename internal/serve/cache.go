@@ -1,0 +1,57 @@
+package serve
+
+import "container/list"
+
+// lru is a bounded most-recently-used result cache: content address →
+// finished result payload. Determinism is what makes it sound — a cached
+// payload is byte-identical to what a fresh run of the same spec would
+// produce, so serving from cache is indistinguishable from recomputing.
+// Not safe for concurrent use; the Server guards it with its mutex.
+type lru struct {
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(max int) *lru {
+	if max < 1 {
+		max = 1
+	}
+	return &lru{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lru) len() int { return c.ll.Len() }
+
+// get returns the payload and refreshes its recency.
+func (c *lru) get(key string) ([]byte, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) the payload and returns the keys evicted to
+// stay within the bound, so the caller can drop its own per-key state.
+func (c *lru) add(key string, val []byte) (evicted []string) {
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).val = val
+		return nil
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		e := c.ll.Back()
+		ent := e.Value.(*lruEntry)
+		c.ll.Remove(e)
+		delete(c.m, ent.key)
+		evicted = append(evicted, ent.key)
+	}
+	return evicted
+}

@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcpn/internal/batch"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the simulation pool size (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (default 64).
+	// When the queue is full, POST /v1/jobs answers 429 + Retry-After
+	// instead of buffering without limit.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache (default 1024).
+	CacheEntries int
+	// JobTimeout is the per-job deadline (default 5m; 0 keeps the default —
+	// a service must not run unbounded jobs, use a large value instead).
+	JobTimeout time.Duration
+	// MaxCycles caps jobs whose spec leaves max_cycles unset (default 1<<32).
+	MaxCycles int64
+	// Chunk is the Drive burst length between cancellation checks and
+	// progress updates (default batch.DefaultChunk).
+	Chunk int64
+	// SSEInterval is the progress-event period on /v1/jobs/{id}/events
+	// (default 500ms).
+	SSEInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 1 << 32
+	}
+	if c.SSEInterval <= 0 {
+		c.SSEInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Job states. A job moves queued → running → done|failed; content
+// addressing means a resubmitted spec joins the existing job wherever it
+// is in that lifecycle.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// job is one content-addressed unit of work and its lifecycle record.
+type job struct {
+	id   string
+	spec JobSpec
+
+	// live progress, written by the worker at every Drive chunk.
+	cycles    atomic.Int64
+	instret   atomic.Uint64
+	startNano atomic.Int64 // wall start of the run, 0 until running
+	endNano   atomic.Int64 // wall end of the run, 0 until terminal
+
+	mu     sync.Mutex
+	state  string
+	result []byte // one-job rcpn-batch/v1 report, set when done/failed
+	// transient marks a failure whose bytes or outcome depend on wall time
+	// (timeout, drain cancellation, panic trace): resubmitting the spec
+	// retries instead of returning the cached failure.
+	transient bool
+
+	done chan struct{} // closed on completion
+}
+
+func (j *job) snapshot() (state string, result []byte, transient bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.transient
+}
+
+// Server is the simulation service: admission (validation, content
+// addressing, dedup, backpressure), a bounded queue into an internal/batch
+// pool, the result cache, and the HTTP surface. It implements
+// http.Handler.
+type Server struct {
+	cfg        Config
+	mux        *http.ServeMux
+	pool       *batch.Pool
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	cache    *lru
+	draining bool
+
+	// buildOverride, when set (tests), replaces JobSpec.Build.
+	buildOverride func(*JobSpec) (batch.Stepper, error)
+
+	// counters; gauges for queued/running, cumulative otherwise.
+	queued    atomic.Int64
+	running   atomic.Int64
+	inflight  atomic.Int64
+	doneCt    atomic.Int64
+	failedCt  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	rejFull   atomic.Int64
+	rejBad    atomic.Int64
+	cycles    atomic.Int64 // cumulative simulated cycles
+}
+
+// New builds and starts a server (its worker pool runs immediately).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		jobs:  make(map[string]*job),
+		cache: newLRU(cfg.CacheEntries),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.pool = batch.NewPool(cfg.QueueDepth, batch.Options{
+		Workers: cfg.Workers,
+		Timeout: cfg.JobTimeout,
+		Context: s.hardCtx,
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain is the graceful-shutdown protocol: stop admitting (POST answers
+// 503, /healthz flips to not-ready), let queued and running jobs finish,
+// and after the grace period cancel whatever is still in flight — Drive's
+// chunked context checks stop the simulators within one chunk, nothing is
+// abandoned. Drain blocks until the pool is idle and is safe to call more
+// than once.
+func (s *Server) Drain(grace time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if grace <= 0 {
+		s.hardCancel()
+	} else {
+		t := time.AfterFunc(grace, s.hardCancel)
+		defer t.Stop()
+	}
+	s.pool.Close()
+	s.hardCancel()
+}
+
+// ---- admission ------------------------------------------------------------
+
+type submitResponse struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached,omitempty"`    // finished result already on hand
+	Coalesced bool   `json:"coalesced,omitempty"` // joined an in-flight identical job
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := ParseSpec(r.Body)
+	if err != nil {
+		s.rejBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	id := spec.ID()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	if j, ok := s.jobs[id]; ok {
+		state, _, transient := j.snapshot()
+		retryable := (state == StateDone || state == StateFailed) && transient
+		if !retryable {
+			resp := submitResponse{ID: id, State: state}
+			switch state {
+			case StateDone, StateFailed:
+				s.hits.Add(1)
+				s.cache.get(id) // refresh recency
+				resp.Cached = true
+			default:
+				s.coalesced.Add(1)
+				resp.Coalesced = true
+			}
+			s.mu.Unlock()
+			writeJSON(w, http.StatusAccepted, resp)
+			return
+		}
+		// A transient failure (timeout, drain, panic) is retried, not
+		// replayed: drop the old record and fall through to a fresh enqueue.
+		delete(s.jobs, id)
+	}
+	j := &job{id: id, spec: *spec, state: StateQueued, done: make(chan struct{})}
+	err = s.pool.TrySubmit(batch.Job{
+		Simulator: spec.Simulator,
+		Workload:  spec.WorkloadLabel(),
+		Config:    spec.ConfigLabel(),
+		Run: func(ctx context.Context) (batch.Metrics, error) {
+			return s.execute(ctx, j)
+		},
+	}, func(res batch.Result) { s.finish(j, res) })
+	switch err {
+	case nil:
+	case batch.ErrQueueFull:
+		s.rejFull.Add(1)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
+		return
+	default: // batch.ErrPoolClosed: drain raced us
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	s.jobs[id] = j
+	s.misses.Add(1)
+	s.queued.Add(1)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: StateQueued})
+}
+
+// ---- execution ------------------------------------------------------------
+
+// execute is the job body, run on a pool worker under the server's hard
+// context and the per-job deadline.
+func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.startNano.Store(time.Now().UnixNano())
+	s.queued.Add(-1)
+	s.running.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	build := s.buildOverride
+	if build == nil {
+		build = func(spec *JobSpec) (batch.Stepper, error) { return spec.Build() }
+	}
+	st, err := build(&j.spec)
+	if err != nil {
+		return batch.Metrics{}, err
+	}
+	cap := j.spec.MaxCycles
+	if cap <= 0 {
+		cap = s.cfg.MaxCycles
+	}
+	err = batch.Drive(ctx, st, cap, s.cfg.Chunk, func(c int64, i uint64) {
+		j.cycles.Store(c)
+		j.instret.Store(i)
+	})
+	c, i := st.Progress()
+	j.cycles.Store(c)
+	j.instret.Store(i)
+	return batch.Metrics{Cycles: c, Instret: i}, err
+}
+
+// finish records the outcome: the deterministic one-job rcpn-batch/v1
+// payload becomes the job's result and enters the content-addressed cache.
+func (s *Server) finish(j *job, res batch.Result) {
+	j.endNano.Store(time.Now().UnixNano())
+	rep := &batch.Report{Results: []batch.Result{res}}
+	payload, err := rep.JSON(false)
+	if err != nil { // cannot happen for plain data; keep the job terminal anyway
+		payload = []byte(fmt.Sprintf(`{"schema":%q,"jobs":[{"error":%q}]}`, batch.Schema, err))
+	}
+	state := StateDone
+	if res.Err != "" {
+		state = StateFailed
+	}
+	transient := res.TimedOut || res.Canceled || res.Panicked
+
+	s.mu.Lock()
+	j.mu.Lock()
+	j.state = state
+	j.result = payload
+	j.transient = transient
+	j.mu.Unlock()
+	for _, evicted := range s.cache.add(j.id, payload) {
+		if old, ok := s.jobs[evicted]; ok && old != j {
+			delete(s.jobs, evicted)
+		}
+	}
+	s.mu.Unlock()
+
+	s.running.Add(-1)
+	if state == StateDone {
+		s.doneCt.Add(1)
+	} else {
+		s.failedCt.Add(1)
+	}
+	s.cycles.Add(res.Cycles)
+	close(j.done)
+}
+
+// ---- queries --------------------------------------------------------------
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// progressBody is the live view of a running job.
+type progressBody struct {
+	Cycles      int64   `json:"cycles"`
+	Instret     uint64  `json:"instructions"`
+	CPI         float64 `json:"cpi"`
+	MCyclesPSec float64 `json:"mcycles_per_sec"`
+	MInstrPSec  float64 `json:"minstr_per_sec"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func (j *job) progress() progressBody {
+	p := batchProgress(j)
+	return progressBody{
+		Cycles: p.Cycles, Instret: p.Instret, CPI: p.CPI(),
+		MCyclesPSec: p.MCyclesPerSec(), MInstrPSec: p.MInstrPerSec(),
+		WallSeconds: p.Wall.Seconds(),
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	state, result, _ := j.snapshot()
+	switch state {
+	case StateDone, StateFailed:
+		writeJSON(w, http.StatusOK, struct {
+			ID     string          `json:"id"`
+			State  string          `json:"state"`
+			Result json.RawMessage `json:"result"`
+		}{j.id, state, result})
+	case StateRunning:
+		writeJSON(w, http.StatusOK, struct {
+			ID       string       `json:"id"`
+			State    string       `json:"state"`
+			Progress progressBody `json:"progress"`
+		}{j.id, state, j.progress()})
+	default:
+		writeJSON(w, http.StatusOK, struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}{j.id, state})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := s.cache.len()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue_depth":      s.pool.Depth(),
+		"queue_cap":        s.pool.Cap(),
+		"workers":          s.pool.Workers(),
+		"inflight_workers": s.inflight.Load(),
+		"jobs": map[string]int64{
+			"queued":  s.queued.Load(),
+			"running": s.running.Load(),
+			"done":    s.doneCt.Load(),
+			"failed":  s.failedCt.Load(),
+		},
+		"cache": map[string]int64{
+			"entries":   int64(entries),
+			"hits":      s.hits.Load(),
+			"misses":    s.misses.Load(),
+			"coalesced": s.coalesced.Load(),
+		},
+		"rejected_queue_full": s.rejFull.Load(),
+		"rejected_invalid":    s.rejBad.Load(),
+		"cumulative_mcycles":  float64(s.cycles.Load()) / 1e6,
+		"draining":            draining,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}

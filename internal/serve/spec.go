@@ -1,0 +1,309 @@
+// Package serve is the simulation-as-a-service layer: an embeddable
+// net/http server that accepts canonical JSON job specs, deduplicates them
+// by content address, queues them into a bounded internal/batch worker
+// pool, and exposes job state, live progress (SSE), metrics and a graceful
+// drain protocol. cmd/rcpnserve is the thin binary around it.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/batch"
+	"rcpn/internal/bpred"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/mem"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/simrun"
+	"rcpn/internal/ssim"
+	"rcpn/internal/workload"
+)
+
+// CacheSpec overrides one cache's geometry and timing. All fields are
+// required when the spec is present (a partial override would silently
+// inherit surprising defaults).
+type CacheSpec struct {
+	Sets        int `json:"sets"`
+	Ways        int `json:"ways"`
+	LineBytes   int `json:"line_bytes"`
+	HitLatency  int `json:"hit_latency"`
+	MissLatency int `json:"miss_latency"`
+}
+
+func (c *CacheSpec) cache(name string) (*mem.Cache, error) {
+	return mem.NewCache(mem.CacheConfig{Name: name, Sets: c.Sets, Ways: c.Ways,
+		LineBytes: c.LineBytes, HitLatency: c.HitLatency, MissLatency: c.MissLatency})
+}
+
+// SimConfig is the tunable microarchitecture subset a job may override.
+// The zero value means the simulator's built-in defaults.
+type SimConfig struct {
+	ICache *CacheSpec `json:"icache,omitempty"`
+	DCache *CacheSpec `json:"dcache,omitempty"`
+	// Bpred selects the branch predictor: "" (model default), "nottaken",
+	// or "bimodal:N" with N a power-of-two entry count.
+	Bpred string `json:"bpred,omitempty"`
+}
+
+func (c SimConfig) isZero() bool {
+	return c.ICache == nil && c.DCache == nil && c.Bpred == ""
+}
+
+// JobSpec is the canonical request body of POST /v1/jobs. Exactly one of
+// Kernel (a built-in benchmark) and Source (inline ARM assembly) must be
+// set. After Normalize, marshaling the spec yields its canonical bytes:
+// the SHA-256 of those bytes is the job's content address, so two requests
+// that mean the same job — regardless of field order, whitespace or
+// defaulted fields — collapse to one id, one queue slot and one cached
+// result.
+type JobSpec struct {
+	Simulator string `json:"simulator"`
+	Kernel    string `json:"kernel,omitempty"`
+	Source    string `json:"source,omitempty"`
+	Scale     int    `json:"scale"`
+	// MaxCycles caps the run (instructions for func/iss); 0 means the
+	// server's default cap.
+	MaxCycles int64     `json:"max_cycles,omitempty"`
+	Config    SimConfig `json:"config"`
+}
+
+// simulators is the accepted Simulator set, matching cmd/rcpnsim's -sim.
+var simulators = map[string]bool{
+	"strongarm": true, "xscale": true, "arm9": true,
+	"ssim": true, "pipe5": true, "func": true, "iss": true,
+}
+
+// maxSourceBytes bounds inline assembly so a single request cannot balloon
+// server memory.
+const maxSourceBytes = 1 << 20
+
+// maxScale bounds the workload scale factor.
+const maxScale = 64
+
+// SpecError is a request defect: the submission is rejected with 400 and
+// this message, and nothing is enqueued.
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return e.msg }
+
+func specErrf(format string, args ...any) error {
+	return &SpecError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseSpec decodes, normalizes and validates a request body. Unknown
+// fields are rejected — silently dropping a typo'd field would hash two
+// different intentions to the same content address.
+func ParseSpec(r io.Reader) (*JobSpec, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxSourceBytes+4096))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, specErrf("bad request body: %v", err)
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Normalize canonicalizes the spec in place and validates it: defaults are
+// filled, names are case-folded, and anything the registry cannot build is
+// rejected now (at admission) rather than on a worker.
+func (s *JobSpec) Normalize() error {
+	s.Simulator = strings.ToLower(strings.TrimSpace(s.Simulator))
+	s.Kernel = strings.ToLower(strings.TrimSpace(s.Kernel))
+	s.Config.Bpred = strings.ToLower(strings.TrimSpace(s.Config.Bpred))
+	if !simulators[s.Simulator] {
+		return specErrf("unknown simulator %q (want strongarm, xscale, arm9, ssim, pipe5, func or iss)", s.Simulator)
+	}
+	if (s.Kernel == "") == (s.Source == "") {
+		return specErrf("exactly one of kernel and source must be set")
+	}
+	if s.Kernel != "" && workload.ByName(s.Kernel) == nil {
+		return specErrf("unknown kernel %q", s.Kernel)
+	}
+	if len(s.Source) > maxSourceBytes {
+		return specErrf("source exceeds %d bytes", maxSourceBytes)
+	}
+	if s.Scale < 1 {
+		s.Scale = 1
+	}
+	if s.Scale > maxScale {
+		return specErrf("scale %d exceeds maximum %d", s.Scale, maxScale)
+	}
+	if s.MaxCycles < 0 {
+		return specErrf("max_cycles must be >= 0")
+	}
+	if (s.Simulator == "func" || s.Simulator == "iss") && !s.Config.isZero() {
+		return specErrf("simulator %q is functional and takes no cache/bpred config", s.Simulator)
+	}
+	if _, err := s.predictor(); err != nil {
+		return err
+	}
+	if err := s.checkCaches(); err != nil {
+		return err
+	}
+	// Assemble now so a syntactically broken inline program is a 400, not a
+	// failed job. Kernels are known-good; skip the redundant work for them.
+	if s.Source != "" {
+		if _, err := arm.Assemble(s.Source, 0x8000); err != nil {
+			return specErrf("source does not assemble: %v", err)
+		}
+	}
+	return nil
+}
+
+// Canonical returns the canonical bytes of a normalized spec.
+func (s *JobSpec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A JobSpec is plain data; this cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// ID returns the spec's content address: the hex SHA-256 of its canonical
+// bytes.
+func (s *JobSpec) ID() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// WorkloadLabel names the workload in reports: the kernel name, or
+// "inline" for submitted source.
+func (s *JobSpec) WorkloadLabel() string {
+	if s.Kernel != "" {
+		return s.Kernel
+	}
+	return "inline"
+}
+
+// ConfigLabel names a non-default configuration in reports.
+func (s *JobSpec) ConfigLabel() string {
+	if s.Config.isZero() {
+		return ""
+	}
+	var parts []string
+	if s.Config.ICache != nil {
+		parts = append(parts, "icache")
+	}
+	if s.Config.DCache != nil {
+		parts = append(parts, "dcache")
+	}
+	if s.Config.Bpred != "" {
+		parts = append(parts, s.Config.Bpred)
+	}
+	return "custom:" + strings.Join(parts, "+")
+}
+
+// predictor builds the configured branch predictor, or nil for the model
+// default.
+func (s *JobSpec) predictor() (bpred.Predictor, error) {
+	spec := strings.ToLower(strings.TrimSpace(s.Config.Bpred))
+	switch {
+	case spec == "":
+		return nil, nil
+	case spec == "nottaken":
+		return bpred.NewNotTaken(), nil
+	case strings.HasPrefix(spec, "bimodal:"):
+		n, err := strconv.Atoi(spec[len("bimodal:"):])
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return nil, specErrf("bpred %q: bimodal entry count must be a positive power of two", spec)
+		}
+		return bpred.NewBimodal(n), nil
+	default:
+		return nil, specErrf("unknown bpred %q (want nottaken or bimodal:N)", spec)
+	}
+}
+
+// checkCaches validates the cache overrides without keeping the instances.
+func (s *JobSpec) checkCaches() error {
+	if s.Config.ICache != nil {
+		if _, err := s.Config.ICache.cache("icache"); err != nil {
+			return specErrf("icache: %v", err)
+		}
+	}
+	if s.Config.DCache != nil {
+		if _, err := s.Config.DCache.cache("dcache"); err != nil {
+			return specErrf("dcache: %v", err)
+		}
+	}
+	return nil
+}
+
+// program assembles the job's workload.
+func (s *JobSpec) program() (*arm.Program, error) {
+	if s.Kernel != "" {
+		return workload.ByName(s.Kernel).Program(s.Scale)
+	}
+	return arm.Assemble(s.Source, 0x8000)
+}
+
+// hierarchy builds the machine.Config/ssim.Config cache hierarchy from the
+// overrides; the zero Hierarchy selects each model's defaults.
+func (s *JobSpec) hierarchy() (mem.Hierarchy, error) {
+	var h mem.Hierarchy
+	if s.Config.ICache != nil {
+		c, err := s.Config.ICache.cache("icache")
+		if err != nil {
+			return h, err
+		}
+		h.I = c
+	}
+	if s.Config.DCache != nil {
+		c, err := s.Config.DCache.cache("dcache")
+		if err != nil {
+			return h, err
+		}
+		h.D = c
+	}
+	return h, nil
+}
+
+// Build assembles the program and constructs the simulator, returning the
+// stepper that runs it. Called on a worker; every failure mode that can be
+// detected cheaply was already rejected at admission by Normalize.
+func (s *JobSpec) Build() (batch.Stepper, error) {
+	p, err := s.program()
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := s.predictor()
+	if err != nil {
+		return nil, err
+	}
+	switch s.Simulator {
+	case "strongarm":
+		return simrun.Machine(machine.NewStrongARM(p, machine.Config{Caches: h, Predictor: pred})), nil
+	case "xscale":
+		return simrun.Machine(machine.NewXScale(p, machine.Config{Caches: h, Predictor: pred})), nil
+	case "arm9":
+		m, err := machine.NewARM9(p, machine.Config{Caches: h, Predictor: pred})
+		if err != nil {
+			return nil, err
+		}
+		return simrun.Machine(m), nil
+	case "ssim":
+		return simrun.SSim(ssim.New(p, ssim.Config{Caches: h, Predictor: pred})), nil
+	case "pipe5":
+		return simrun.Pipe5(pipe5.New(p, pipe5.Config{Caches: h, Predictor: pred})), nil
+	case "func":
+		return simrun.Functional(machine.NewFunctional(p, machine.Config{})), nil
+	case "iss":
+		return simrun.ISS(iss.New(p, 0)), nil
+	default:
+		return nil, specErrf("unknown simulator %q", s.Simulator)
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rcpn/internal/stats"
+)
+
+// GET /v1/jobs/{id}/events streams the job's lifecycle as server-sent
+// events: an immediate "state" event, a "progress" event (cycles retired,
+// Mcycles/s) every SSEInterval while the job runs, and a terminal "state"
+// event when it completes, after which the stream ends. The progress feed
+// reads the counters the worker publishes at every Drive chunk, so no
+// per-subscriber plumbing touches the simulation hot path.
+
+// batchProgress assembles a stats.Progress snapshot from the job's live
+// counters.
+func batchProgress(j *job) stats.Progress {
+	p := stats.Progress{Cycles: j.cycles.Load(), Instret: j.instret.Load()}
+	if start := j.startNano.Load(); start != 0 {
+		end := j.endNano.Load() // frozen at completion so late reads keep the true rate
+		if end == 0 {
+			end = time.Now().UnixNano()
+		}
+		p.Wall = time.Duration(end - start)
+	}
+	return p
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	state, _, _ := j.snapshot()
+	if state == StateDone || state == StateFailed {
+		// Already terminal: emit the final counters and the terminal
+		// state so late subscribers still get a complete stream.
+		emit("progress", j.progress())
+		emit("state", map[string]string{"id": j.id, "state": state})
+		return
+	}
+	emit("state", map[string]string{"id": j.id, "state": state})
+
+	ticker := time.NewTicker(s.cfg.SSEInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			state, _, _ := j.snapshot()
+			emit("progress", j.progress())
+			emit("state", map[string]string{"id": j.id, "state": state})
+			return
+		case <-ticker.C:
+			if st, _, _ := j.snapshot(); st == StateRunning {
+				emit("progress", j.progress())
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package simrun adapts the repository's simulators to batch.Stepper, the
+// chunked-execution interface the batch driver and the simulation service
+// use for cooperative cancellation (coarse cycle-granularity deadline
+// checks) and live progress reporting.
+//
+// Every simulator already exposes a "run until a cumulative limit" loop:
+// machine.Machine.Run, ssim.Sim.Run and pipe5.Sim.Run limit by cycle count,
+// machine.Machine.RunFunctional and iss.CPU by instruction count. Those
+// loops return a formatted error when the limit is reached, but record real
+// simulation failures in the model's Err field (or return them from Step),
+// so the adapters can tell a chunk boundary apart from a genuine failure:
+// boundary = limit reached, program not exited, no recorded error. Chunking
+// is bit-exact — the limit check sits outside the per-cycle state update,
+// so where the boundaries fall cannot change the simulated outcome.
+package simrun
+
+import (
+	"rcpn/internal/batch"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/ssim"
+)
+
+// Machine adapts a detailed (pipelined) RCPN machine. Use Functional for
+// machines built with machine.NewFunctional.
+func Machine(m *machine.Machine) batch.Stepper { return machineStepper{m} }
+
+type machineStepper struct{ m *machine.Machine }
+
+func (s machineStepper) Pos() int64 { return s.m.Net.CycleCount() }
+
+func (s machineStepper) Progress() (int64, uint64) {
+	return s.m.Net.CycleCount(), s.m.Instret
+}
+
+func (s machineStepper) StepTo(limit int64) (bool, error) {
+	err := s.m.Run(limit)
+	if err == nil {
+		return true, nil
+	}
+	if s.m.Err == nil && !s.m.Exited && s.m.Net.CycleCount() >= limit {
+		return false, nil // chunk boundary, not a failure
+	}
+	return false, err
+}
+
+// Functional adapts a functional RCPN machine (machine.NewFunctional);
+// limits are instruction counts and cycles report as zero.
+func Functional(m *machine.Machine) batch.Stepper { return functionalStepper{m} }
+
+type functionalStepper struct{ m *machine.Machine }
+
+func (s functionalStepper) Pos() int64 { return int64(s.m.Instret) }
+
+func (s functionalStepper) Progress() (int64, uint64) { return 0, s.m.Instret }
+
+func (s functionalStepper) StepTo(limit int64) (bool, error) {
+	err := s.m.RunFunctional(uint64(limit))
+	if err == nil {
+		return true, nil
+	}
+	if s.m.Err == nil && !s.m.Exited && int64(s.m.Instret) >= limit {
+		return false, nil
+	}
+	return false, err
+}
+
+// SSim adapts the SimpleScalar-like out-of-order baseline.
+func SSim(s *ssim.Sim) batch.Stepper { return ssimStepper{s} }
+
+type ssimStepper struct{ s *ssim.Sim }
+
+func (a ssimStepper) Pos() int64 { return a.s.Cycles }
+
+func (a ssimStepper) Progress() (int64, uint64) { return a.s.Cycles, a.s.Instret }
+
+func (a ssimStepper) StepTo(limit int64) (bool, error) {
+	err := a.s.Run(limit)
+	if err == nil {
+		return true, nil
+	}
+	if a.s.Err == nil && a.s.Cycles >= limit {
+		return false, nil
+	}
+	return false, err
+}
+
+// Pipe5 adapts the hand-written five-stage pipeline.
+func Pipe5(s *pipe5.Sim) batch.Stepper { return pipe5Stepper{s} }
+
+type pipe5Stepper struct{ s *pipe5.Sim }
+
+func (a pipe5Stepper) Pos() int64 { return a.s.Cycles }
+
+func (a pipe5Stepper) Progress() (int64, uint64) { return a.s.Cycles, a.s.Instret }
+
+func (a pipe5Stepper) StepTo(limit int64) (bool, error) {
+	err := a.s.Run(limit)
+	if err == nil {
+		return true, nil
+	}
+	if a.s.Err == nil && a.s.Cycles >= limit {
+		return false, nil
+	}
+	return false, err
+}
+
+// ISS adapts the functional golden-model interpreter; limits are
+// instruction counts and cycles report as zero. The CPU's own MaxInstrs
+// bound, if set, still applies and surfaces as an error.
+func ISS(c *iss.CPU) batch.Stepper { return issStepper{c} }
+
+type issStepper struct{ c *iss.CPU }
+
+func (s issStepper) Pos() int64 { return int64(s.c.Instret) }
+
+func (s issStepper) Progress() (int64, uint64) { return 0, s.c.Instret }
+
+func (s issStepper) StepTo(limit int64) (bool, error) {
+	if n := limit - int64(s.c.Instret); n > 0 {
+		if _, err := s.c.RunN(uint64(n)); err != nil {
+			return false, err
+		}
+	}
+	return s.c.Exited, nil
+}

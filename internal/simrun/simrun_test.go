@@ -1,0 +1,160 @@
+package simrun
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rcpn/internal/batch"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/ssim"
+	"rcpn/internal/workload"
+)
+
+// TestChunkedEqualsOneShot: driving each simulator in small chunks yields
+// exactly the cycle and instruction counts of a single uninterrupted run —
+// the bit-exactness Drive promises, and the property the service's result
+// cache depends on.
+func TestChunkedEqualsOneShot(t *testing.T) {
+	w := workload.ByName("crc")
+	if w == nil {
+		t.Fatal("crc workload missing")
+	}
+	p1, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		oneShot func() (int64, uint64, error)
+		stepper func() batch.Stepper
+	}{
+		{
+			name: "strongarm",
+			oneShot: func() (int64, uint64, error) {
+				m := machine.NewStrongARM(p1, machine.Config{})
+				err := m.Run(0)
+				return m.Net.CycleCount(), m.Instret, err
+			},
+			stepper: func() batch.Stepper {
+				return Machine(machine.NewStrongARM(p2, machine.Config{}))
+			},
+		},
+		{
+			name: "ssim",
+			oneShot: func() (int64, uint64, error) {
+				s := ssim.New(p1, ssim.Config{})
+				err := s.Run(0)
+				return s.Cycles, s.Instret, err
+			},
+			stepper: func() batch.Stepper {
+				return SSim(ssim.New(p2, ssim.Config{}))
+			},
+		},
+		{
+			name: "pipe5",
+			oneShot: func() (int64, uint64, error) {
+				s := pipe5.New(p1, pipe5.Config{})
+				err := s.Run(0)
+				return s.Cycles, s.Instret, err
+			},
+			stepper: func() batch.Stepper {
+				return Pipe5(pipe5.New(p2, pipe5.Config{}))
+			},
+		},
+		{
+			name: "functional",
+			oneShot: func() (int64, uint64, error) {
+				m := machine.NewFunctional(p1, machine.Config{})
+				err := m.RunFunctional(0)
+				return 0, m.Instret, err
+			},
+			stepper: func() batch.Stepper {
+				return Functional(machine.NewFunctional(p2, machine.Config{}))
+			},
+		},
+		{
+			name: "iss",
+			oneShot: func() (int64, uint64, error) {
+				c := iss.New(p1, 0)
+				err := c.Run()
+				return 0, c.Instret, err
+			},
+			stepper: func() batch.Stepper {
+				return ISS(iss.New(p2, 0))
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantC, wantI, err := tc.oneShot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := tc.stepper()
+			if err := batch.Drive(context.Background(), st, 0, 4096, nil); err != nil {
+				t.Fatal(err)
+			}
+			gotC, gotI := st.Progress()
+			if gotC != wantC || gotI != wantI {
+				t.Fatalf("chunked (%d cycles, %d instr) != one-shot (%d, %d)",
+					gotC, gotI, wantC, wantI)
+			}
+		})
+	}
+}
+
+// TestDriveCancelStopsSimulator: cancellation lands at a chunk boundary
+// and the simulator halts mid-program with its partial counters intact.
+func TestDriveCancelStopsSimulator(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewStrongARM(p, machine.Config{})
+	st := Machine(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	chunks := 0
+	err = batch.Drive(ctx, st, 0, 1024, func(int64, uint64) {
+		chunks++
+		if chunks == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if chunks != 3 {
+		t.Fatalf("ran %d chunks after cancel, want exactly 3", chunks)
+	}
+	c, _ := st.Progress()
+	if c < 1024*2 || c >= 130691 {
+		t.Fatalf("stopped at %d cycles; expected mid-program after ~3 chunks", c)
+	}
+}
+
+// TestDriveCapStopsSimulator: the cumulative cap surfaces as an error at
+// the cap, matching the simulators' own maxCycles semantics.
+func TestDriveCapStopsSimulator(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pipe5.New(p, pipe5.Config{})
+	err = batch.Drive(context.Background(), Pipe5(s), 5000, 1024, nil)
+	if err == nil {
+		t.Fatal("cap 5000 did not stop a ~150k-cycle program")
+	}
+	if s.Cycles != 5000 {
+		t.Fatalf("stopped at %d cycles, want exactly the 5000 cap", s.Cycles)
+	}
+}

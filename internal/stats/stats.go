@@ -37,6 +37,50 @@ func (r Run) MCyclesPerSec() float64 {
 	return float64(r.Cycles) / s / 1e6
 }
 
+// Progress is a live snapshot of a simulation still in flight: the
+// cumulative counters so far plus the wall time spent producing them. A Run
+// describes a finished measurement; Progress is what a long-running job
+// reports mid-flight (per-chunk callbacks, the service's SSE feed).
+type Progress struct {
+	Cycles  int64         `json:"cycles"`
+	Instret uint64        `json:"instructions"`
+	Wall    time.Duration `json:"-"`
+}
+
+// CPI returns cycles per instruction so far.
+func (p Progress) CPI() float64 {
+	if p.Instret == 0 {
+		return 0
+	}
+	return float64(p.Cycles) / float64(p.Instret)
+}
+
+// MCyclesPerSec returns throughput so far in million cycles per second.
+func (p Progress) MCyclesPerSec() float64 {
+	s := p.Wall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(p.Cycles) / s / 1e6
+}
+
+// MInstrPerSec returns throughput so far in million instructions per
+// second — the speed metric for purely functional simulators, which report
+// zero cycles.
+func (p Progress) MInstrPerSec() float64 {
+	s := p.Wall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(p.Instret) / s / 1e6
+}
+
+// Run freezes the snapshot into a finished measurement.
+func (p Progress) Run(simulator, workload string) Run {
+	return Run{Simulator: simulator, Workload: workload,
+		Cycles: p.Cycles, Instret: p.Instret, Wall: p.Wall}
+}
+
 // Set accumulates runs and renders figure-style tables.
 type Set struct {
 	Runs []Run

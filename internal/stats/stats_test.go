@@ -78,3 +78,25 @@ func TestCSV(t *testing.T) {
 		t.Errorf("sorting: %s", lines[1])
 	}
 }
+
+func TestProgress(t *testing.T) {
+	p := Progress{Cycles: 4_000_000, Instret: 2_000_000, Wall: 2 * time.Second}
+	if got := p.CPI(); got != 2.0 {
+		t.Errorf("CPI = %v, want 2", got)
+	}
+	if got := p.MCyclesPerSec(); got != 2.0 {
+		t.Errorf("MCyclesPerSec = %v, want 2", got)
+	}
+	if got := p.MInstrPerSec(); got != 1.0 {
+		t.Errorf("MInstrPerSec = %v, want 1", got)
+	}
+	// Zero-duration and zero-instruction snapshots must not divide by zero.
+	z := Progress{}
+	if z.CPI() != 0 || z.MCyclesPerSec() != 0 || z.MInstrPerSec() != 0 {
+		t.Error("zero snapshot produced nonzero rates")
+	}
+	r := p.Run("sim", "wl")
+	if r.Simulator != "sim" || r.Cycles != p.Cycles || r.Wall != p.Wall {
+		t.Errorf("Run conversion lost fields: %+v", r)
+	}
+}
