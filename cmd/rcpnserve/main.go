@@ -1,20 +1,31 @@
 // Command rcpnserve runs the simulation service: an HTTP API over every
 // simulator in this repository, with content-addressed result caching,
-// bounded-queue backpressure and graceful drain on SIGTERM/SIGINT.
+// bounded-queue backpressure, graceful drain on SIGTERM/SIGINT and — with
+// -data — crash-safe durability: accepted jobs journal to disk, long jobs
+// checkpoint periodically, and a restarted server resumes pending work
+// from the last checkpoint while serving finished results byte-identical
+// to the original runs.
 //
 // Usage:
 //
 //	rcpnserve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-timeout 5m] [-drain 30s] [-maxcycles N]
+//	          [-data DIR] [-attempts N] [-retry-base 100ms] [-retry-max 5s]
+//	          [-faultinj PLAN]
 //
-// API (see DESIGN.md §8 and the README quickstart):
+// API (see DESIGN.md §8–§9 and the README quickstart):
 //
 //	POST /v1/jobs            submit a job spec; 202 + content-addressed id,
-//	                         429 + Retry-After when the queue is full
+//	                         429 + Retry-After when the queue is full,
+//	                         503 + Retry-After while draining
 //	GET  /v1/jobs/{id}       job state; rcpn-batch/v1 result when finished
 //	GET  /v1/jobs/{id}/events  SSE progress (cycles retired, Mcycles/s)
-//	GET  /v1/metrics         queue depth, job states, cache hit/miss, ...
-//	GET  /healthz            200 ok, 503 while draining
+//	GET  /v1/metrics         queue depth, job states, cache, durability, ...
+//	GET  /healthz            200 ok, 200 degraded (durability lost), 503 draining
+//
+// -faultinj arms the deterministic fault-injection harness (testing only);
+// the plan grammar is internal/faultinj's: site[#N][@V][*T]:action[=arg],
+// comma-separated, e.g. "worker.panic@50000:panic,journal.append#3:error".
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"rcpn/internal/faultinj"
 	"rcpn/internal/serve"
 )
 
@@ -39,15 +51,39 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-job deadline")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	maxCycles := flag.Int64("maxcycles", 1<<32, "default per-job cycle cap (when the spec sets none)")
+	data := flag.String("data", "", "data directory for crash-safe durability (empty = memory-only)")
+	attempts := flag.Int("attempts", 3, "max executions before a transiently failing job is poisoned")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff (doubles per attempt)")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "retry backoff ceiling")
+	faultPlan := flag.String("faultinj", "", "deterministic fault-injection plan (testing only)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	var inj *faultinj.Injector
+	if *faultPlan != "" {
+		var err error
+		if inj, err = faultinj.Parse(*faultPlan); err != nil {
+			fmt.Fprintln(os.Stderr, "rcpnserve:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rcpnserve: fault injection armed: %s\n", *faultPlan)
+	}
+
+	srv, err := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		JobTimeout:   *timeout,
 		MaxCycles:    *maxCycles,
+		DataDir:      *data,
+		MaxAttempts:  *attempts,
+		RetryBase:    *retryBase,
+		RetryMax:     *retryMax,
+		Fault:        inj,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcpnserve:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

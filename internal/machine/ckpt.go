@@ -75,6 +75,58 @@ func (m *Machine) RunN(n uint64, maxCycles int64) error {
 	return nil
 }
 
+// RunUntil simulates until at least target total instructions have retired,
+// the program exits, or the cycle count reaches cycleLimit (0 = 1<<40) —
+// whichever comes first. Unlike RunN it does not drain and reaching the
+// cycle limit is a clean stop, not an error, so a driver can interleave
+// limit-sized bursts with cancellation checks; because the limit check sits
+// strictly between cycles, where the bursts end cannot change the simulated
+// outcome, and the first state with Instret >= target is independent of the
+// burst schedule.
+func (m *Machine) RunUntil(target uint64, cycleLimit int64) error {
+	if m.functional {
+		return fmt.Errorf("%s: RunUntil needs a pipeline; use RunFunctional", m.Name)
+	}
+	if cycleLimit <= 0 {
+		cycleLimit = 1 << 40
+	}
+	for !m.Exited && m.Instret < target && m.Net.CycleCount() < cycleLimit {
+		m.Net.Step()
+		if m.tracer != nil {
+			m.tracer.snap()
+		}
+		if m.Err != nil {
+			return m.Err
+		}
+	}
+	return nil
+}
+
+// Drain holds the front end and runs the pipeline empty, leaving the
+// machine at a checkpointable architectural boundary (the same drain RunN
+// performs after its retirement target). maxCycles bounds the drain
+// (0 = 1<<40).
+func (m *Machine) Drain(maxCycles int64) error {
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	m.holdFetch = true
+	defer func() { m.holdFetch = false }()
+	for !m.Exited && !m.Drained() {
+		if m.Net.CycleCount() >= maxCycles {
+			return fmt.Errorf("%s: cycle limit %d exceeded draining at pc=%#08x", m.Name, maxCycles, m.pc)
+		}
+		m.Net.Step()
+		if m.tracer != nil {
+			m.tracer.snap()
+		}
+		if m.Err != nil {
+			return m.Err
+		}
+	}
+	return nil
+}
+
 // Checkpoint captures the architected state plus the machine's warm
 // microarchitectural state (cache residency, branch-predictor history). It
 // fails unless the pipeline is drained.

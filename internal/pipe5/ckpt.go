@@ -45,6 +45,43 @@ func (s *Sim) RunN(n uint64, maxCycles int64) error {
 	return nil
 }
 
+// RunUntil simulates until at least target total instructions have retired,
+// the program exits, or Cycles reaches cycleLimit (0 = 1<<40). Reaching the
+// cycle limit is a clean stop, not an error, and the first state with
+// Instret >= target does not depend on where the limit-sized bursts end.
+func (s *Sim) RunUntil(target uint64, cycleLimit int64) error {
+	if cycleLimit <= 0 {
+		cycleLimit = 1 << 40
+	}
+	for !s.Exited && s.Instret < target && s.Cycles < cycleLimit {
+		s.cycle()
+		if s.Err != nil {
+			return s.Err
+		}
+	}
+	return nil
+}
+
+// Drain holds fetch and runs the latches empty, leaving the simulator at a
+// checkpointable boundary. maxCycles bounds the drain (0 = 1<<40).
+func (s *Sim) Drain(maxCycles int64) error {
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	s.holdFetch = true
+	defer func() { s.holdFetch = false }()
+	for !s.Exited && !s.Drained() {
+		if s.Cycles >= maxCycles {
+			return fmt.Errorf("pipe5: cycle limit %d exceeded draining at pc=%#08x", maxCycles, s.pc)
+		}
+		s.cycle()
+		if s.Err != nil {
+			return s.Err
+		}
+	}
+	return nil
+}
+
 // Checkpoint captures the architected state plus warm cache and predictor
 // state. It fails unless the pipeline is drained.
 func (s *Sim) Checkpoint() (*ckpt.Checkpoint, error) {

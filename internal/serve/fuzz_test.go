@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSpec: admission must never panic on arbitrary request bodies,
+// and canonicalization must be a fixed point — re-parsing a spec's
+// canonical form yields the same canonical bytes and the same content
+// address, so a job's identity is stable no matter how its spec was
+// spelled.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		crcSpec,
+		`{"simulator":"pipe5","kernel":"crc","scale":3,"checkpoint_interval":5000}`,
+		`{"simulator":"iss","source":"start:\n\tmov r0, #7\n\tswi 1\n\tmov r0, #0\n\tswi 0\n"}`,
+		`{"simulator":"ssim","kernel":"adpcm","max_cycles":100000}`,
+		`{ "simulator" : "PIPE5", "kernel" : "CRC", "scale" : 0 }`,
+		`{"simulator":"pipe5","kernel":"crc","config":{"bpred":"bimodal"}}`,
+		`{"simulator":"vax","kernel":"crc"}`,
+		`{"simulator":"pipe5","kernel":"crc","checkpoint_interval":1}`,
+		`{"simulator":"pipe5","kernel":"crc","max_cycles":-1}`,
+		`{"simulator":"pipe5"}`,
+		`{}`,
+		`not json at all`,
+		`null`,
+		`[1,2,3]`,
+		`{"simulator":"pipe5","kernel":"crc","scale":1e309}`,
+		"{\"simulator\":\"pipe5\",\"kernel\":\"crc\"\x00}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		canon := sp.Canonical()
+		id := sp.ID()
+		sp2, err := ParseSpec(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %s", err, data, canon)
+		}
+		if got := sp2.Canonical(); !bytes.Equal(got, canon) {
+			t.Fatalf("canonicalization is not a fixed point:\nfirst:  %s\nsecond: %s", canon, got)
+		}
+		if got := sp2.ID(); got != id {
+			t.Fatalf("content address unstable across reparse: %s vs %s\nspec: %s", got, id, canon)
+		}
+	})
+}

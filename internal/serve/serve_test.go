@@ -25,7 +25,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Chunk == 0 {
 		cfg.Chunk = 4096
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() {
 		hs.Close()
@@ -429,8 +432,12 @@ func TestDrain(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if code, _, _ := post(t, hs.URL, specN(2)); code != http.StatusServiceUnavailable {
+	code, hdr, _ := post(t, hs.URL, specN(2))
+	if code != http.StatusServiceUnavailable {
 		t.Fatalf("POST during drain = %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 during drain without Retry-After")
 	}
 
 	select {

@@ -1,15 +1,23 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"math/rand"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rcpn/internal/batch"
+	"rcpn/internal/ckpt"
+	"rcpn/internal/faultinj"
+	"rcpn/internal/store"
 )
 
 // Config sizes the service.
@@ -33,6 +41,26 @@ type Config struct {
 	// SSEInterval is the progress-event period on /v1/jobs/{id}/events
 	// (default 500ms).
 	SSEInterval time.Duration
+
+	// DataDir, when set, makes the server durable: accepted jobs, finished
+	// results and job checkpoints persist under this directory, and a
+	// restarted server recovers them — pending jobs re-enqueue (resuming
+	// from their last checkpoint), finished results warm the cache with the
+	// exact bytes the original run produced. Empty means memory-only.
+	DataDir string
+	// MaxAttempts caps how many times a job may run before a transient
+	// failure (panic, timeout) is poisoned into a terminal failure
+	// (default 3).
+	MaxAttempts int
+	// RetryBase is the first retry delay; it doubles per attempt up to
+	// RetryMax, with jitter (defaults 100ms / 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Fault arms deterministic fault injection at the durability layer's
+	// named sites. Nil (production) is inert.
+	Fault *faultinj.Injector
+	// Logf receives durability and recovery log lines (default: stderr).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -51,12 +79,22 @@ func (c Config) withDefaults() Config {
 	if c.SSEInterval <= 0 {
 		c.SSEInterval = 500 * time.Millisecond
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
 	return c
 }
 
 // Job states. A job moves queued → running → done|failed; content
 // addressing means a resubmitted spec joins the existing job wherever it
-// is in that lifecycle.
+// is in that lifecycle. A transient failure re-enters queued via the
+// retry loop until it succeeds or is poisoned.
 const (
 	StateQueued  = "queued"
 	StateRunning = "running"
@@ -82,6 +120,14 @@ type job struct {
 	// (timeout, drain cancellation, panic trace): resubmitting the spec
 	// retries instead of returning the cached failure.
 	transient bool
+	// attempts counts executions; at Config.MaxAttempts a transient failure
+	// becomes poison.
+	attempts int
+	// Latest checkpoint (encoded RCPNCKPT payload plus its cumulative
+	// progress), kept in memory so retries resume even without a DataDir.
+	ckInstret uint64
+	ckCycles  int64
+	ckRaw     []byte
 
 	done chan struct{} // closed on completion
 }
@@ -94,19 +140,25 @@ func (j *job) snapshot() (state string, result []byte, transient bool) {
 
 // Server is the simulation service: admission (validation, content
 // addressing, dedup, backpressure), a bounded queue into an internal/batch
-// pool, the result cache, and the HTTP surface. It implements
-// http.Handler.
+// pool, the result cache, the durability layer, and the HTTP surface. It
+// implements http.Handler.
 type Server struct {
 	cfg        Config
 	mux        *http.ServeMux
 	pool       *batch.Pool
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
+	store      *store.Store // nil: memory-only
+	logf       func(format string, args ...any)
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	cache    *lru
 	draining bool
+
+	// degraded flips once when a durability write fails at runtime; the
+	// server logs it, reports it on /healthz, and continues memory-only.
+	degraded atomic.Bool
 
 	// buildOverride, when set (tests), replaces JobSpec.Build.
 	buildOverride func(*JobSpec) (batch.Stepper, error)
@@ -123,15 +175,31 @@ type Server struct {
 	rejFull   atomic.Int64
 	rejBad    atomic.Int64
 	cycles    atomic.Int64 // cumulative simulated cycles
+	retries   atomic.Int64
+	resumes   atomic.Int64
+	poisoned  atomic.Int64
+	recovered atomic.Int64
+	sseActive atomic.Int64
 }
 
-// New builds and starts a server (its worker pool runs immediately).
-func New(cfg Config) *Server {
+// New builds and starts a server (its worker pool runs immediately). With
+// Config.DataDir set it first recovers the durable job set: finished
+// results warm the cache, pending jobs re-enqueue and resume from their
+// last checkpoint. Only environmental failures (an unusable data
+// directory) are errors; damaged content is quarantined and logged, never
+// fatal.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		jobs:  make(map[string]*job),
 		cache: newLRU(cfg.CacheEntries),
+	}
+	s.logf = cfg.Logf
+	if s.logf == nil {
+		s.logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.pool = batch.NewPool(cfg.QueueDepth, batch.Options{
@@ -145,7 +213,76 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	return s
+	if cfg.DataDir != "" {
+		st, jobs, err := store.Open(cfg.DataDir, cfg.Fault, s.logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.adopt(jobs)
+	}
+	return s, nil
+}
+
+// adopt installs the recovered job set: terminal jobs become served cache
+// entries with the exact bytes the original run produced; pending jobs are
+// owed to clients and re-enqueue.
+func (s *Server) adopt(jobs []store.Job) {
+	for _, jb := range jobs {
+		j := &job{id: jb.ID, done: make(chan struct{})}
+		if len(jb.Spec) > 0 {
+			sp, err := ParseSpec(bytes.NewReader(jb.Spec))
+			if err != nil || sp.ID() != jb.ID {
+				s.logf("serve: recovered job %s has a bad spec (%v); dropping", shortID(jb.ID), err)
+				s.drop(jb.ID)
+				continue
+			}
+			j.spec = *sp
+		}
+		switch jb.State {
+		case store.StateDone, store.StateFailed:
+			j.state = StateDone
+			if jb.State == store.StateFailed {
+				j.state = StateFailed
+			}
+			j.result = jb.Result
+			close(j.done)
+			s.mu.Lock()
+			s.jobs[jb.ID] = j
+			evicted := s.cache.add(jb.ID, jb.Result)
+			for _, id := range evicted {
+				if old, ok := s.jobs[id]; ok && old != j {
+					delete(s.jobs, id)
+				}
+			}
+			s.mu.Unlock()
+			for _, id := range evicted {
+				s.drop(id)
+			}
+			s.recovered.Add(1)
+		case store.StatePending:
+			if len(jb.Spec) == 0 {
+				s.drop(jb.ID)
+				continue
+			}
+			j.state = StateQueued
+			s.mu.Lock()
+			s.jobs[jb.ID] = j
+			s.mu.Unlock()
+			s.queued.Add(1)
+			if err := s.enqueue(j); err != nil {
+				s.logf("serve: recovered job %s does not fit the queue (%v); dropping", shortID(jb.ID), err)
+				s.queued.Add(-1)
+				s.mu.Lock()
+				delete(s.jobs, jb.ID)
+				s.mu.Unlock()
+				s.drop(jb.ID)
+				continue
+			}
+			s.recovered.Add(1)
+			s.logf("serve: recovered pending job %s; re-enqueued", shortID(jb.ID))
+		}
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -170,6 +307,58 @@ func (s *Server) Drain(grace time.Duration) {
 	}
 	s.pool.Close()
 	s.hardCancel()
+	if s.store != nil {
+		s.store.Close() //nolint:errcheck // shutdown path; nothing to do with it
+	}
+}
+
+// ---- durability helpers ----------------------------------------------------
+
+// durable reports whether persistence is on and healthy.
+func (s *Server) durable() bool { return s.store != nil && !s.degraded.Load() }
+
+// degrade flips the server to memory-only operation after a durability
+// failure, logging the cause exactly once. The HTTP surface stays fully
+// functional; /healthz reports "degraded" while staying ready.
+func (s *Server) degrade(err error) {
+	if s.store == nil || err == nil {
+		return
+	}
+	if s.degraded.CompareAndSwap(false, true) {
+		s.logf("serve: durability degraded, continuing memory-only: %v", err)
+	}
+}
+
+// drop forgets a job's durable files (cache eviction, bad recovery).
+func (s *Server) drop(id string) {
+	if !s.durable() {
+		return
+	}
+	if err := s.store.Drop(id); err != nil {
+		s.degrade(err)
+	}
+}
+
+// backoff computes the retry delay for the given completed attempt count:
+// exponential from RetryBase, capped at RetryMax, with half-width jitter so
+// synchronized retries spread out.
+func (s *Server) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBase
+	for i := 1; i < attempt && d < s.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.RetryMax {
+		d = s.cfg.RetryMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// shortID abbreviates a content address for logs.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
 }
 
 // ---- admission ------------------------------------------------------------
@@ -180,6 +369,10 @@ type submitResponse struct {
 	Cached    bool   `json:"cached,omitempty"`    // finished result already on hand
 	Coalesced bool   `json:"coalesced,omitempty"` // joined an in-flight identical job
 }
+
+// retryAfterDrain advises clients how long to wait out a drain; drains are
+// process shutdowns, so "a few seconds, elsewhere" is the honest answer.
+const retryAfterDrain = "5"
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := ParseSpec(r.Body)
@@ -193,6 +386,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", retryAfterDrain)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
 		return
 	}
@@ -219,14 +413,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, id)
 	}
 	j := &job{id: id, spec: *spec, state: StateQueued, done: make(chan struct{})}
-	err = s.pool.TrySubmit(batch.Job{
-		Simulator: spec.Simulator,
-		Workload:  spec.WorkloadLabel(),
-		Config:    spec.ConfigLabel(),
-		Run: func(ctx context.Context) (batch.Metrics, error) {
-			return s.execute(ctx, j)
-		},
-	}, func(res batch.Result) { s.finish(j, res) })
+	err = s.enqueue(j)
 	switch err {
 	case nil:
 	case batch.ErrQueueFull:
@@ -237,6 +424,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	default: // batch.ErrPoolClosed: drain raced us
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", retryAfterDrain)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
 		return
 	}
@@ -244,16 +432,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.misses.Add(1)
 	s.queued.Add(1)
 	s.mu.Unlock()
+	// Journal the acceptance before acknowledging it, so an accepted job is
+	// either owed durably or not confirmed at all.
+	if s.durable() {
+		if err := s.store.LogSubmit(id, spec.Canonical()); err != nil {
+			s.degrade(err)
+		}
+	}
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: StateQueued})
+}
+
+// enqueue hands the job to the worker pool.
+func (s *Server) enqueue(j *job) error {
+	return s.pool.TrySubmit(batch.Job{
+		Simulator: j.spec.Simulator,
+		Workload:  j.spec.WorkloadLabel(),
+		Config:    j.spec.ConfigLabel(),
+		Run: func(ctx context.Context) (batch.Metrics, error) {
+			return s.execute(ctx, j)
+		},
+	}, func(res batch.Result) { s.finish(j, res) })
 }
 
 // ---- execution ------------------------------------------------------------
 
 // execute is the job body, run on a pool worker under the server's hard
-// context and the per-job deadline.
+// context and the per-job deadline. Checkpointing jobs (spec sets
+// checkpoint_interval) run under DriveCkpt and, when a checkpoint exists —
+// in memory from an earlier attempt, or on disk from a previous process —
+// restore it and resume instead of restarting.
 func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	j.mu.Lock()
 	j.state = StateRunning
+	j.attempts++
 	j.mu.Unlock()
 	j.startNano.Store(time.Now().UnixNano())
 	s.queued.Add(-1)
@@ -273,20 +484,170 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	if cap <= 0 {
 		cap = s.cfg.MaxCycles
 	}
-	err = batch.Drive(ctx, st, cap, s.cfg.Chunk, func(c int64, i uint64) {
+	onProgress := func(c int64, i uint64) {
 		j.cycles.Store(c)
 		j.instret.Store(i)
-	})
+	}
+
+	if cs, ok := st.(batch.CheckpointStepper); ok && j.spec.CheckpointInterval > 0 {
+		driver := batch.CheckpointStepper(cs)
+		if raw, instret, cycles, found := s.loadCheckpoint(j); found {
+			switch ck, cerr := ckpt.FromBytes(raw); {
+			case cerr != nil:
+				s.discardCheckpoint(j, fmt.Sprintf("checkpoint does not decode: %v", cerr))
+			default:
+				if rerr := cs.Restore(ck); rerr != nil {
+					s.discardCheckpoint(j, fmt.Sprintf("checkpoint does not restore: %v", rerr))
+				} else {
+					driver = batch.Resumed(cs, cycles)
+					onProgress(cycles, instret)
+					s.resumes.Add(1)
+					s.logf("serve: job %s resuming from checkpoint at %d retired instructions",
+						shortID(j.id), instret)
+				}
+			}
+		}
+		err = batch.DriveCkpt(ctx, driver, cap, s.cfg.Chunk, j.spec.CheckpointInterval,
+			s.checkpointSink(j), onProgress)
+		c, i := driver.Progress()
+		onProgress(c, i)
+		return batch.Metrics{Cycles: c, Instret: i}, err
+	}
+
+	err = batch.Drive(ctx, st, cap, s.cfg.Chunk, onProgress)
 	c, i := st.Progress()
-	j.cycles.Store(c)
-	j.instret.Store(i)
+	onProgress(c, i)
 	return batch.Metrics{Cycles: c, Instret: i}, err
 }
 
-// finish records the outcome: the deterministic one-job rcpn-batch/v1
-// payload becomes the job's result and enters the content-addressed cache.
+// checkpointSink persists each periodic checkpoint: always to the job's
+// in-memory slot (same-process retries), and to the store when durable.
+// Persistence failures degrade the server rather than fail the job. The
+// worker.panic fault site fires first — before the checkpoint is saved —
+// so an injected crash loses the current boundary exactly like a real one.
+func (s *Server) checkpointSink(j *job) batch.CheckpointSink {
+	return func(instret uint64, cycles int64, ck *ckpt.Checkpoint) error {
+		if err := s.cfg.Fault.Hit(faultinj.SiteWorkerPanic, instret); err != nil {
+			return err
+		}
+		raw, err := ck.Bytes()
+		if err != nil {
+			s.logf("serve: job %s checkpoint did not encode (skipped): %v", shortID(j.id), err)
+			return nil
+		}
+		j.mu.Lock()
+		j.ckInstret, j.ckCycles, j.ckRaw = instret, cycles, raw
+		j.mu.Unlock()
+		if s.durable() {
+			if err := s.store.WriteCheckpoint(j.id, instret, cycles, raw); err != nil {
+				s.degrade(err)
+			}
+		}
+		return nil
+	}
+}
+
+// loadCheckpoint finds the job's latest checkpoint: the in-memory copy from
+// an earlier attempt in this process, else the durable one from a previous
+// process.
+func (s *Server) loadCheckpoint(j *job) (raw []byte, instret uint64, cycles int64, found bool) {
+	j.mu.Lock()
+	raw, instret, cycles = j.ckRaw, j.ckInstret, j.ckCycles
+	j.mu.Unlock()
+	if raw != nil {
+		return raw, instret, cycles, true
+	}
+	if s.durable() {
+		i, c, p, err := s.store.ReadCheckpoint(j.id)
+		if err == nil {
+			return p, i, c, true
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.logf("serve: job %s checkpoint unavailable, restarting from scratch: %v", shortID(j.id), err)
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// discardCheckpoint abandons a checkpoint that failed to decode or restore:
+// quarantine the durable copy, forget the in-memory one, restart the job
+// from scratch.
+func (s *Server) discardCheckpoint(j *job, why string) {
+	j.mu.Lock()
+	j.ckRaw = nil
+	j.mu.Unlock()
+	if s.store != nil {
+		s.store.QuarantineCheckpoint(j.id, why)
+	}
+	s.logf("serve: job %s restarting from scratch: %s", shortID(j.id), why)
+}
+
+// finish handles a completed execution: successes and permanent failures
+// become terminal results; transient failures (panic, timeout) retry with
+// backoff until MaxAttempts, at which point the job is poisoned — a
+// terminal failure carrying the diagnosis, quarantined from retry.
 func (s *Server) finish(j *job, res batch.Result) {
 	j.endNano.Store(time.Now().UnixNano())
+	s.running.Add(-1)
+	s.cycles.Add(res.Cycles)
+
+	transient := res.TimedOut || res.Canceled || res.Panicked
+	if res.Err != "" && transient {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		stopping := draining || s.hardCtx.Err() != nil
+		j.mu.Lock()
+		attempts := j.attempts
+		j.mu.Unlock()
+		switch {
+		case stopping:
+			// Shutdown cancellation stays a transient terminal failure: a
+			// durable job has no terminal record yet, so the next process
+			// recovers and re-runs it.
+		case attempts < s.cfg.MaxAttempts:
+			s.retry(j, res, attempts)
+			return
+		default:
+			res.Err = fmt.Sprintf("poisoned after %d attempts: %s", attempts, res.Err)
+			transient = false
+			s.poisoned.Add(1)
+			s.logf("serve: job %s %s", shortID(j.id), res.Err)
+		}
+	}
+	s.finalize(j, res, transient)
+}
+
+// retry schedules the job's next attempt after backoff. The job goes back
+// to queued with its done channel open, so waiting clients keep waiting;
+// its checkpoint (if any) stays, so the attempt resumes.
+func (s *Server) retry(j *job, res batch.Result, attempt int) {
+	s.retries.Add(1)
+	j.mu.Lock()
+	j.state = StateQueued
+	j.mu.Unlock()
+	s.queued.Add(1)
+	delay := s.backoff(attempt)
+	s.logf("serve: job %s attempt %d failed transiently (%s); retry in %v",
+		shortID(j.id), attempt, res.Err, delay)
+	time.AfterFunc(delay, func() {
+		if err := s.enqueue(j); err != nil {
+			// The pool closed (or filled) under us: finalize with the failure
+			// we were retrying, still transient so a resubmission re-runs.
+			s.queued.Add(-1)
+			s.running.Add(1) // finalize pairs with finish's decrement
+			s.finish(j, res)
+		}
+	})
+}
+
+// finalize records the outcome: the deterministic one-job rcpn-batch/v1
+// payload becomes the job's result, enters the content-addressed cache,
+// and — durable server, permanent outcome — is persisted with its terminal
+// journal record. Transient terminal failures are deliberately not
+// persisted: the durable record stays "pending", so a restart re-runs the
+// job from its last checkpoint.
+func (s *Server) finalize(j *job, res batch.Result, transient bool) {
 	rep := &batch.Report{Results: []batch.Result{res}}
 	payload, err := rep.JSON(false)
 	if err != nil { // cannot happen for plain data; keep the job terminal anyway
@@ -296,7 +657,25 @@ func (s *Server) finish(j *job, res batch.Result) {
 	if res.Err != "" {
 		state = StateFailed
 	}
-	transient := res.TimedOut || res.Canceled || res.Panicked
+
+	if s.durable() && !transient {
+		persist := func() error {
+			if err := s.store.WriteResult(j.id, payload); err != nil {
+				return err
+			}
+			if state == StateDone {
+				if err := s.store.LogDone(j.id); err != nil {
+					return err
+				}
+			} else if err := s.store.LogFailed(j.id, res.Err); err != nil {
+				return err
+			}
+			return s.store.DeleteCheckpoint(j.id)
+		}
+		if err := persist(); err != nil {
+			s.degrade(err)
+		}
+	}
 
 	s.mu.Lock()
 	j.mu.Lock()
@@ -304,20 +683,22 @@ func (s *Server) finish(j *job, res batch.Result) {
 	j.result = payload
 	j.transient = transient
 	j.mu.Unlock()
-	for _, evicted := range s.cache.add(j.id, payload) {
-		if old, ok := s.jobs[evicted]; ok && old != j {
-			delete(s.jobs, evicted)
+	evicted := s.cache.add(j.id, payload)
+	for _, id := range evicted {
+		if old, ok := s.jobs[id]; ok && old != j {
+			delete(s.jobs, id)
 		}
 	}
 	s.mu.Unlock()
+	for _, id := range evicted {
+		s.drop(id)
+	}
 
-	s.running.Add(-1)
 	if state == StateDone {
 		s.doneCt.Add(1)
 	} else {
 		s.failedCt.Add(1)
 	}
-	s.cycles.Add(res.Cycles)
 	close(j.done)
 }
 
@@ -384,7 +765,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if s.store != nil && s.degraded.Load() {
+		// Degraded is still ready: jobs run, results serve; only persistence
+		// is off. 200 keeps the instance in rotation; the status string and
+		// /v1/metrics surface the condition.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) durabilityStatus() string {
+	switch {
+	case s.store == nil:
+		return "off"
+	case s.degraded.Load():
+		return "degraded"
+	default:
+		return "ok"
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -392,16 +791,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries := s.cache.len()
 	draining := s.draining
 	s.mu.Unlock()
+	var quarantined int64
+	if s.store != nil {
+		quarantined = int64(s.store.QuarantineCount())
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queue_depth":      s.pool.Depth(),
 		"queue_cap":        s.pool.Cap(),
 		"workers":          s.pool.Workers(),
 		"inflight_workers": s.inflight.Load(),
 		"jobs": map[string]int64{
-			"queued":  s.queued.Load(),
-			"running": s.running.Load(),
-			"done":    s.doneCt.Load(),
-			"failed":  s.failedCt.Load(),
+			"queued":    s.queued.Load(),
+			"running":   s.running.Load(),
+			"done":      s.doneCt.Load(),
+			"failed":    s.failedCt.Load(),
+			"retried":   s.retries.Load(),
+			"resumed":   s.resumes.Load(),
+			"poisoned":  s.poisoned.Load(),
+			"recovered": s.recovered.Load(),
 		},
 		"cache": map[string]int64{
 			"entries":   int64(entries),
@@ -409,6 +816,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"misses":    s.misses.Load(),
 			"coalesced": s.coalesced.Load(),
 		},
+		"durability": map[string]any{
+			"status":      s.durabilityStatus(),
+			"quarantined": quarantined,
+		},
+		"sse_subscribers":     s.sseActive.Load(),
 		"rejected_queue_full": s.rejFull.Load(),
 		"rejected_invalid":    s.rejBad.Load(),
 		"cumulative_mcycles":  float64(s.cycles.Load()) / 1e6,

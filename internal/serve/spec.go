@@ -70,8 +70,17 @@ type JobSpec struct {
 	Scale     int    `json:"scale"`
 	// MaxCycles caps the run (instructions for func/iss); 0 means the
 	// server's default cap.
-	MaxCycles int64     `json:"max_cycles,omitempty"`
-	Config    SimConfig `json:"config"`
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// CheckpointInterval, when nonzero, makes the job crash-safe: the worker
+	// drains the simulator and captures an RCPNCKPT checkpoint every
+	// CheckpointInterval retired instructions, so a killed server resumes
+	// the job from the last boundary instead of restarting it. The drains
+	// insert pipeline bubbles that perturb cycle-level timing, which is why
+	// the interval is part of the spec (and so of the content address): the
+	// result is a deterministic function of (spec, interval), not of whether
+	// a crash happened.
+	CheckpointInterval uint64    `json:"checkpoint_interval,omitempty"`
+	Config             SimConfig `json:"config"`
 }
 
 // simulators is the accepted Simulator set, matching cmd/rcpnsim's -sim.
@@ -86,6 +95,9 @@ const maxSourceBytes = 1 << 20
 
 // maxScale bounds the workload scale factor.
 const maxScale = 64
+
+// minCheckpointInterval bounds how often a job may drain for a checkpoint.
+const minCheckpointInterval = 1000
 
 // SpecError is a request defect: the submission is rejected with 400 and
 // this message, and nothing is enqueued.
@@ -140,6 +152,10 @@ func (s *JobSpec) Normalize() error {
 	}
 	if s.MaxCycles < 0 {
 		return specErrf("max_cycles must be >= 0")
+	}
+	if s.CheckpointInterval != 0 && s.CheckpointInterval < minCheckpointInterval {
+		return specErrf("checkpoint_interval %d below minimum %d (draining the pipeline that often would dominate the run)",
+			s.CheckpointInterval, minCheckpointInterval)
 	}
 	if (s.Simulator == "func" || s.Simulator == "iss") && !s.Config.isZero() {
 		return specErrf("simulator %q is functional and takes no cache/bpred config", s.Simulator)

@@ -44,6 +44,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Subscriber gauge: a disconnecting client must release its slot (the
+	// select below watches r.Context()); the leak test pins this to zero.
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
 
 	emit := func(event string, v any) {
 		data, _ := json.Marshal(v)

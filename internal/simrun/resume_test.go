@@ -1,0 +1,156 @@
+package simrun
+
+import (
+	"context"
+	"testing"
+
+	"rcpn/internal/batch"
+	"rcpn/internal/ckpt"
+	"rcpn/internal/iss"
+	"rcpn/internal/machine"
+	"rcpn/internal/pipe5"
+	"rcpn/internal/ssim"
+	"rcpn/internal/workload"
+)
+
+// TestResumeIdenticalProgress is the engine-level half of the crash-safety
+// acceptance criterion: for every engine, a checkpointed DriveCkpt run that
+// is cut short and then resumed — fresh simulator, Restore from the
+// byte-round-tripped checkpoint, Resumed wrapper carrying the donor's cycle
+// count — finishes with exactly the cycle and instruction counts of the
+// uninterrupted run. Since the service's rcpn-batch/v1 payload is a
+// deterministic function of those counts (wall-clock fields omitted),
+// equality here is byte-identity of results there.
+func TestResumeIdenticalProgress(t *testing.T) {
+	w := workload.ByName("crc")
+	if w == nil {
+		t.Fatal("crc workload missing")
+	}
+	builders := []struct {
+		name  string
+		build func() batch.CheckpointStepper
+	}{
+		{"strongarm", func() batch.CheckpointStepper {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Machine(machine.NewStrongARM(p, machine.Config{})).(batch.CheckpointStepper)
+		}},
+		{"pipe5", func() batch.CheckpointStepper {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Pipe5(pipe5.New(p, pipe5.Config{})).(batch.CheckpointStepper)
+		}},
+		{"ssim", func() batch.CheckpointStepper {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return SSim(ssim.New(p, ssim.Config{})).(batch.CheckpointStepper)
+		}},
+		{"functional", func() batch.CheckpointStepper {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Functional(machine.NewFunctional(p, machine.Config{})).(batch.CheckpointStepper)
+		}},
+		{"iss", func() batch.CheckpointStepper {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ISS(iss.New(p, 0)).(batch.CheckpointStepper)
+		}},
+	}
+	const interval = 2000
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			// Uninterrupted reference run, recording every checkpoint.
+			type saved struct {
+				instret uint64
+				cycles  int64
+				raw     []byte
+			}
+			var cks []saved
+			ref := b.build()
+			if err := batch.DriveCkpt(context.Background(), ref, 0, 4096, interval,
+				func(i uint64, c int64, ck *ckpt.Checkpoint) error {
+					raw, err := ck.Bytes()
+					if err != nil {
+						return err
+					}
+					cks = append(cks, saved{i, c, raw})
+					return nil
+				}, nil); err != nil {
+				t.Fatal(err)
+			}
+			wantC, wantI := ref.Progress()
+			if len(cks) < 2 {
+				t.Fatalf("only %d checkpoints; workload too short for interval %d", len(cks), interval)
+			}
+			// Resume from the first and the last checkpoint — the crash could
+			// land anywhere, and every boundary must retrace identically.
+			for _, k := range []int{0, len(cks) - 1} {
+				sv := cks[k]
+				ck, err := ckpt.FromBytes(sv.raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh := b.build()
+				if err := fresh.Restore(ck); err != nil {
+					t.Fatal(err)
+				}
+				st := batch.Resumed(fresh, sv.cycles)
+				if err := batch.DriveCkpt(context.Background(), st, 0, 4096, interval, nil, nil); err != nil {
+					t.Fatal(err)
+				}
+				gotC, gotI := st.Progress()
+				if gotC != wantC || gotI != wantI {
+					t.Fatalf("resume from checkpoint %d (instret %d): final (%d cycles, %d instr), uninterrupted (%d, %d)",
+						k, sv.instret, gotC, gotI, wantC, wantI)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeChunkIndependent: for a cycle engine, the checkpoint schedule of
+// DriveCkpt does not move when the chunk size changes — the property that
+// lets a resumed run (whose first chunk boundary lands elsewhere) retrace
+// the donor's boundaries exactly.
+func TestResumeChunkIndependent(t *testing.T) {
+	w := workload.ByName("crc")
+	run := func(chunk int64) (bounds []uint64, cycles []int64) {
+		p, err := w.Program(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Pipe5(pipe5.New(p, pipe5.Config{})).(batch.CheckpointStepper)
+		if err := batch.DriveCkpt(context.Background(), st, 0, chunk, 2000,
+			func(i uint64, c int64, _ *ckpt.Checkpoint) error {
+				bounds = append(bounds, i)
+				cycles = append(cycles, c)
+				return nil
+			}, nil); err != nil {
+			t.Fatal(err)
+		}
+		return bounds, cycles
+	}
+	refB, refC := run(1 << 18)
+	for _, chunk := range []int64{97, 4096} {
+		b, c := run(chunk)
+		if len(b) != len(refB) {
+			t.Fatalf("chunk %d: %d boundaries vs %d", chunk, len(b), len(refB))
+		}
+		for i := range b {
+			if b[i] != refB[i] || c[i] != refC[i] {
+				t.Fatalf("chunk %d: boundary %d at (instret %d, cycle %d), reference (%d, %d)",
+					chunk, i, b[i], c[i], refB[i], refC[i])
+			}
+		}
+	}
+}

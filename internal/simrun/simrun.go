@@ -16,10 +16,25 @@ package simrun
 
 import (
 	"rcpn/internal/batch"
+	"rcpn/internal/ckpt"
 	"rcpn/internal/iss"
 	"rcpn/internal/machine"
 	"rcpn/internal/pipe5"
 	"rcpn/internal/ssim"
+)
+
+// Every adapter also implements batch.CheckpointStepper: StepToRetired and
+// DrainBoundary delegate to the simulators' RunUntil/Drain chunked-boundary
+// primitives (instruction boundaries for the functional models, where every
+// boundary is drained), and Checkpoint/Restore delegate to the RCPNCKPT
+// hooks added in the sampled-simulation work. batch.DriveCkpt relies on
+// these to place periodic checkpoints deterministically.
+var (
+	_ batch.CheckpointStepper = machineStepper{}
+	_ batch.CheckpointStepper = functionalStepper{}
+	_ batch.CheckpointStepper = ssimStepper{}
+	_ batch.CheckpointStepper = pipe5Stepper{}
+	_ batch.CheckpointStepper = issStepper{}
 )
 
 // Machine adapts a detailed (pipelined) RCPN machine. Use Functional for
@@ -45,6 +60,19 @@ func (s machineStepper) StepTo(limit int64) (bool, error) {
 	return false, err
 }
 
+func (s machineStepper) StepToRetired(target uint64, posLimit int64) (bool, error) {
+	if err := s.m.RunUntil(target, posLimit); err != nil {
+		return false, err
+	}
+	return s.m.Exited, nil
+}
+
+func (s machineStepper) DrainBoundary() error { return s.m.Drain(0) }
+
+func (s machineStepper) Checkpoint() (*ckpt.Checkpoint, error) { return s.m.Checkpoint() }
+
+func (s machineStepper) Restore(ck *ckpt.Checkpoint) error { return s.m.Restore(ck) }
+
 // Functional adapts a functional RCPN machine (machine.NewFunctional);
 // limits are instruction counts and cycles report as zero.
 func Functional(m *machine.Machine) batch.Stepper { return functionalStepper{m} }
@@ -66,6 +94,22 @@ func (s functionalStepper) StepTo(limit int64) (bool, error) {
 	return false, err
 }
 
+func (s functionalStepper) StepToRetired(target uint64, posLimit int64) (bool, error) {
+	// Position is the retirement count, so the target and the chunk limit
+	// are the same unit: stop at whichever comes first.
+	lim := int64(target)
+	if posLimit < lim {
+		lim = posLimit
+	}
+	return s.StepTo(lim)
+}
+
+func (s functionalStepper) DrainBoundary() error { return nil } // always drained
+
+func (s functionalStepper) Checkpoint() (*ckpt.Checkpoint, error) { return s.m.Checkpoint() }
+
+func (s functionalStepper) Restore(ck *ckpt.Checkpoint) error { return s.m.Restore(ck) }
+
 // SSim adapts the SimpleScalar-like out-of-order baseline.
 func SSim(s *ssim.Sim) batch.Stepper { return ssimStepper{s} }
 
@@ -85,6 +129,19 @@ func (a ssimStepper) StepTo(limit int64) (bool, error) {
 	}
 	return false, err
 }
+
+func (a ssimStepper) StepToRetired(target uint64, posLimit int64) (bool, error) {
+	if err := a.s.RunUntil(target, posLimit); err != nil {
+		return false, err
+	}
+	return a.s.Finished(), nil
+}
+
+func (a ssimStepper) DrainBoundary() error { return a.s.Drain(0) }
+
+func (a ssimStepper) Checkpoint() (*ckpt.Checkpoint, error) { return a.s.Checkpoint() }
+
+func (a ssimStepper) Restore(ck *ckpt.Checkpoint) error { return a.s.Restore(ck) }
 
 // Pipe5 adapts the hand-written five-stage pipeline.
 func Pipe5(s *pipe5.Sim) batch.Stepper { return pipe5Stepper{s} }
@@ -106,6 +163,19 @@ func (a pipe5Stepper) StepTo(limit int64) (bool, error) {
 	return false, err
 }
 
+func (a pipe5Stepper) StepToRetired(target uint64, posLimit int64) (bool, error) {
+	if err := a.s.RunUntil(target, posLimit); err != nil {
+		return false, err
+	}
+	return a.s.Exited, nil
+}
+
+func (a pipe5Stepper) DrainBoundary() error { return a.s.Drain(0) }
+
+func (a pipe5Stepper) Checkpoint() (*ckpt.Checkpoint, error) { return a.s.Checkpoint() }
+
+func (a pipe5Stepper) Restore(ck *ckpt.Checkpoint) error { return a.s.Restore(ck) }
+
 // ISS adapts the functional golden-model interpreter; limits are
 // instruction counts and cycles report as zero. The CPU's own MaxInstrs
 // bound, if set, still applies and surfaces as an error.
@@ -125,3 +195,17 @@ func (s issStepper) StepTo(limit int64) (bool, error) {
 	}
 	return s.c.Exited, nil
 }
+
+func (s issStepper) StepToRetired(target uint64, posLimit int64) (bool, error) {
+	lim := int64(target)
+	if posLimit < lim {
+		lim = posLimit
+	}
+	return s.StepTo(lim)
+}
+
+func (s issStepper) DrainBoundary() error { return nil } // every boundary is drained
+
+func (s issStepper) Checkpoint() (*ckpt.Checkpoint, error) { return s.c.Checkpoint(), nil }
+
+func (s issStepper) Restore(ck *ckpt.Checkpoint) error { return s.c.Restore(ck) }

@@ -59,6 +59,54 @@ func (s *Sim) RunN(n uint64, maxCycles int64) error {
 	return nil
 }
 
+// Finished reports program completion: the exit system call has committed
+// and the window has emptied (the condition Run stops on).
+func (s *Sim) Finished() bool { return s.Exited && len(s.ruu) == 0 }
+
+// RunUntil simulates until at least target total instructions have
+// committed, the program exits (and the window empties), or Cycles reaches
+// cycleLimit (0 = 1<<40). Reaching the cycle limit is a clean stop, not an
+// error, and the first state with Instret >= target does not depend on
+// where the limit-sized bursts end.
+func (s *Sim) RunUntil(target uint64, cycleLimit int64) error {
+	if cycleLimit <= 0 {
+		cycleLimit = 1 << 40
+	}
+	for (!s.Exited || len(s.ruu) > 0) && s.Instret < target && s.Cycles < cycleLimit {
+		s.cycle()
+		if s.Err != nil {
+			return s.Err
+		}
+	}
+	return nil
+}
+
+// Drain holds fetch and runs to a timing-reproducible checkpointable
+// boundary (window and fetch queue empty, unit stamps in the past), the
+// same drain RunN performs. maxCycles bounds the drain (0 = 1<<40).
+func (s *Sim) Drain(maxCycles int64) error {
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	s.holdFetch = true
+	defer func() { s.holdFetch = false }()
+	for !s.Drained() {
+		if s.Exited && len(s.ruu) == 0 {
+			// Program over: the leftover fetch-queue slots and unit stamps
+			// will never clear; there is no boundary to reach.
+			return nil
+		}
+		if s.Cycles >= maxCycles {
+			return fmt.Errorf("ssim: cycle limit %d exceeded draining at pc=%#08x", maxCycles, s.fetchPC)
+		}
+		s.cycle()
+		if s.Err != nil {
+			return s.Err
+		}
+	}
+	return nil
+}
+
 // Checkpoint captures the architected state (the oracle core's, which is the
 // committed state) plus warm cache, TLB and predictor state. It fails unless
 // the simulator is drained.
