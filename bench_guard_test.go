@@ -1,0 +1,125 @@
+//go:build bench_guard
+
+package rcpn
+
+// Bench regression guard, build-tagged out of the default test run:
+//
+//	go test -tags bench_guard -run TestBenchGuard -v .
+//
+// With observability disabled (the nil-check fast path), each cycle engine
+// runs the crc kernel and its simulation rate must stay within benchGuardDrop
+// of the committed baseline in testdata/bench_baseline.json. The guard
+// exists to catch the failure mode this repository's observability layer is
+// designed against — instrumentation hooks leaking cost into uninstrumented
+// runs — and it is advisory in CI (hosted runners are noisy; the committed
+// baseline describes the reference container).
+//
+// Regenerate the baseline on the reference machine with:
+//
+//	RCPN_BENCH_BASELINE_WRITE=1 go test -tags bench_guard -run TestBenchGuard .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"rcpn/internal/workload"
+)
+
+const benchBaselinePath = "testdata/bench_baseline.json"
+
+// benchGuardDrop is the tolerated slowdown before the guard fails: a >15%
+// drop in cycles/sec against the baseline is a regression.
+const benchGuardDrop = 0.15
+
+// benchGuardReps runs each measurement this many times and keeps the best,
+// shedding scheduler noise the cheap way.
+const benchGuardReps = 3
+
+// guardEngines are the measured microbenches: the cycle engines on crc.
+var guardEngines = []string{"pipe5", "strongarm", "ssim"}
+
+func guardEngine(t *testing.T, name string) conformanceEngine {
+	t.Helper()
+	for _, e := range conformanceEngines() {
+		if e.name == name {
+			return e
+		}
+	}
+	t.Fatalf("unknown guard engine %q", name)
+	return conformanceEngine{}
+}
+
+// measureMcps returns the best-of-reps simulation rate of one engine on
+// crc, in simulated Mcycles per wall second, with no observability
+// attached.
+func measureMcps(t *testing.T, name string) float64 {
+	t.Helper()
+	e := guardEngine(t, name)
+	p, err := workload.ByName("crc").Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for rep := 0; rep < benchGuardReps; rep++ {
+		st, _, err := e.build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		done, err := st.StepTo(noLimit)
+		wall := time.Since(start)
+		if err != nil || !done {
+			t.Fatalf("%s: done=%v err=%v", name, done, err)
+		}
+		cycles, _ := st.Progress()
+		if mcps := float64(cycles) / 1e6 / wall.Seconds(); mcps > best {
+			best = mcps
+		}
+	}
+	return best
+}
+
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("RCPN_BENCH_BASELINE_WRITE") != "" {
+		out := map[string]float64{}
+		for _, name := range guardEngines {
+			out[name] = measureMcps(t, name)
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s:\n%s", benchBaselinePath, data)
+		return
+	}
+
+	data, err := os.ReadFile(benchBaselinePath)
+	if err != nil {
+		t.Fatalf("no committed baseline (generate with RCPN_BENCH_BASELINE_WRITE=1): %v", err)
+	}
+	var base map[string]float64
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("bad baseline %s: %v", benchBaselinePath, err)
+	}
+	for _, name := range guardEngines {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want, ok := base[name]
+			if !ok {
+				t.Fatalf("baseline lacks %q; regenerate it", name)
+			}
+			got := measureMcps(t, name)
+			floor := (1 - benchGuardDrop) * want
+			t.Logf("%s: %.2f Mcycles/s (baseline %.2f, floor %.2f)", name, got, want, floor)
+			if got < floor {
+				t.Errorf("%s regressed: %.2f Mcycles/s < %.2f (baseline %.2f − %.0f%%)",
+					name, got, floor, want, 100*benchGuardDrop)
+			}
+		})
+	}
+}

@@ -11,21 +11,25 @@
 //	rcpnserve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-timeout 5m] [-drain 30s] [-maxcycles N]
 //	          [-data DIR] [-attempts N] [-retry-base 100ms] [-retry-max 5s]
-//	          [-faultinj PLAN]
+//	          [-faultinj PLAN] [-pprof ADDR]
 //
-// API (see DESIGN.md §8–§9 and the README quickstart):
+// API (see DESIGN.md §8–§10 and the README quickstart):
 //
 //	POST /v1/jobs            submit a job spec; 202 + content-addressed id,
 //	                         429 + Retry-After when the queue is full,
 //	                         503 + Retry-After while draining
 //	GET  /v1/jobs/{id}       job state; rcpn-batch/v1 result when finished
 //	GET  /v1/jobs/{id}/events  SSE progress (cycles retired, Mcycles/s)
-//	GET  /v1/metrics         queue depth, job states, cache, durability, ...
+//	GET  /v1/jobs/{id}/trace   Chrome trace_event JSON (trace_events > 0 jobs)
+//	GET  /v1/metrics         Prometheus text format: queue, jobs, cache, ...
 //	GET  /healthz            200 ok, 200 degraded (durability lost), 503 draining
 //
 // -faultinj arms the deterministic fault-injection harness (testing only);
 // the plan grammar is internal/faultinj's: site[#N][@V][*T]:action[=arg],
 // comma-separated, e.g. "worker.panic@50000:panic,journal.append#3:error".
+// -pprof serves net/http/pprof on a second, typically loopback-only,
+// listener (e.g. -pprof localhost:6060) so profiling never shares the
+// public address.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener's DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,7 +61,19 @@ func main() {
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff (doubles per attempt)")
 	retryMax := flag.Duration("retry-max", 5*time.Second, "retry backoff ceiling")
 	faultPlan := flag.String("faultinj", "", "deterministic fault-injection plan (testing only)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries only the net/http/pprof handlers here;
+			// the service itself uses its own mux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rcpnserve: pprof listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rcpnserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	var inj *faultinj.Injector
 	if *faultPlan != "" {

@@ -5,29 +5,38 @@
 // Usage:
 //
 //	rcpnsim [-sim strongarm|xscale|arm9|ssim|pipe5|func|iss] [-scale N]
-//	        [-trace N] [-util] [-emit] [-json] (-bench name | file.s)
+//	        [-profile] [-trace FILE] [-trace-events N] [-pipetrace N]
+//	        [-util] [-emit] [-json] (-bench name | file.s)
 //
 // With -json the human-readable report is replaced by a one-job
 // rcpn-batch/v1 record on stdout — the same schema cmd/rcpnbatch and the
 // rcpnserve job API emit, so CLI, batch and service outputs diff directly.
+// -profile adds per-stage stall attribution (a table in text mode, a
+// "stalls" object in -json mode); -trace writes the run's last
+// -trace-events events as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto), or as the compact RCPNTRC1 binary when
+// FILE ends in .bin.
 //
 // Examples:
 //
 //	rcpnsim -bench crc                  # RCPN StrongARM on the crc kernel
 //	rcpnsim -sim xscale -bench go       # RCPN XScale on the go kernel
 //	rcpnsim -sim iss prog.s             # functional golden model on a file
+//	rcpnsim -sim pipe5 -bench crc -profile -trace crc.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rcpn/internal/arm"
 	"rcpn/internal/batch"
 	"rcpn/internal/iss"
 	"rcpn/internal/machine"
+	"rcpn/internal/obsv"
 	"rcpn/internal/pipe5"
 	"rcpn/internal/ssim"
 	"rcpn/internal/workload"
@@ -38,7 +47,10 @@ func main() {
 	bench := flag.String("bench", "", "built-in benchmark kernel (adpcm, blowfish, compress, crc, g721, go)")
 	scale := flag.Int("scale", 1, "benchmark scale factor")
 	emit := flag.Bool("emit", false, "print the program's emitted output words")
-	trace := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles (strongarm/xscale)")
+	pipetrace := flag.Int64("pipetrace", 0, "print a text pipeline trace for the first N cycles (strongarm/xscale)")
+	profile := flag.Bool("profile", false, "attribute every stage-cycle to progress or a stall cause and print the table")
+	traceFile := flag.String("trace", "", "write an event trace to FILE: Chrome trace_event JSON, or RCPNTRC1 binary when FILE ends in .bin")
+	traceEvents := flag.Int("trace-events", 1<<20, "trace ring capacity: the trace keeps the last N events")
 	util := flag.Bool("util", false, "print per-transition utilization (RCPN models)")
 	jsonOut := flag.Bool("json", false, "emit a one-job rcpn-batch/v1 JSON record instead of the text report")
 	flag.Parse()
@@ -68,6 +80,25 @@ func main() {
 		fail(err)
 	}
 
+	// Observability attachments. Every simulator implements
+	// obsv.Instrumentable, so one hook covers all seven -sim choices.
+	var prof *obsv.StallProfile
+	var tracer *obsv.Tracer
+	if *traceFile != "" {
+		if *traceEvents <= 0 {
+			fail(fmt.Errorf("-trace-events must be > 0"))
+		}
+		tracer = obsv.NewTracer(*traceEvents)
+	}
+	instrument := func(ins obsv.Instrumentable) {
+		if *profile {
+			prof = ins.EnableProfile()
+		}
+		if tracer != nil {
+			ins.AttachTrace(tracer)
+		}
+	}
+
 	start := time.Now()
 	var (
 		cycles   int64
@@ -90,9 +121,10 @@ func main() {
 				fail(err)
 			}
 		}
-		if *trace > 0 {
-			m.AttachTracer(os.Stdout, *trace)
+		if *pipetrace > 0 {
+			m.AttachTracer(os.Stdout, *pipetrace)
 		}
+		instrument(m)
 		err = m.Run(0)
 		cycles, instret = m.Net.CycleCount(), m.Instret
 		output, text, exitCode = m.Output, m.Text, m.ExitCode
@@ -115,23 +147,27 @@ func main() {
 		}
 	case "ssim":
 		s := ssim.New(p, ssim.Config{})
+		instrument(s)
 		err = s.Run(0)
 		cycles, instret = s.Cycles, s.Instret
 		output, text, exitCode = s.Output(), s.Text(), s.ExitCode()
 		extra = func() { fmt.Printf("recoveries:     %d\n", s.Flushes) }
 	case "pipe5":
 		s := pipe5.New(p, pipe5.Config{})
+		instrument(s)
 		err = s.Run(0)
 		cycles, instret = s.Cycles, s.Instret
 		output, text, exitCode = s.Output, s.Text, s.ExitCode
 	case "func":
 		m := machine.NewFunctional(p, machine.Config{})
+		instrument(m)
 		err = m.RunFunctional(0)
 		cycles, instret = 0, m.Instret
 		output, text, exitCode = m.Output, m.Text, m.ExitCode
 	case "iss":
 		c := iss.New(p, 0)
 		c.MaxInstrs = 1 << 34
+		instrument(c)
 		err = c.Run()
 		cycles, instret = 0, c.Instret
 		output, text, exitCode = c.Output, c.Text, c.Exit
@@ -143,14 +179,24 @@ func main() {
 		fail(err)
 	}
 
+	if *traceFile != "" {
+		if werr := writeTrace(tracer, *traceFile); werr != nil {
+			fail(werr)
+		}
+	}
+
 	if *jsonOut {
 		wl := *bench
 		if wl == "" {
 			wl = flag.Arg(0)
 		}
+		var stalls *obsv.StallSnapshot
+		if prof != nil {
+			stalls = prof.Snapshot()
+		}
 		rep := &batch.Report{Workers: 1, Wall: wall, Results: []batch.Result{{
 			Simulator: *sim, Workload: wl,
-			Metrics: batch.Metrics{Cycles: cycles, Instret: instret},
+			Metrics: batch.Metrics{Cycles: cycles, Instret: instret, Stalls: stalls},
 			Wall:    wall,
 		}}}
 		data, jerr := rep.JSON(false)
@@ -184,6 +230,27 @@ func main() {
 	} else if len(output) > 0 {
 		fmt.Printf("output words:   %d (run with -emit to print)\n", len(output))
 	}
+	if prof != nil {
+		fmt.Print(prof.Table())
+	}
+}
+
+// writeTrace renders the tracer's ring: Chrome trace_event JSON by default,
+// the RCPNTRC1 binary when the path ends in .bin.
+func writeTrace(tr *obsv.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".bin") {
+		err = tr.WriteBinary(f)
+	} else {
+		err = tr.WriteChromeJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fail(err error) {

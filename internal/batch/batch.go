@@ -30,15 +30,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rcpn/internal/obsv"
 	"rcpn/internal/stats"
 )
 
 // Metrics is what a job measures. Extra carries named scalar metrics beyond
-// the core pair (hit ratios, CPI error, ...).
+// the core pair (hit ratios, CPI error, ...). Stalls, when the job enabled
+// stall attribution on its simulator, is the per-stage profile snapshot;
+// it serializes into the report under "stalls".
 type Metrics struct {
 	Cycles  int64
 	Instret uint64
 	Extra   map[string]float64
+	Stalls  *obsv.StallSnapshot
 }
 
 // CPI returns cycles per retired instruction.
@@ -65,6 +69,15 @@ type Job struct {
 	// Timeout overrides Options.Timeout for this job (0 = inherit).
 	Timeout time.Duration
 	Run     func(ctx context.Context) (Metrics, error)
+	// Partial, when set, salvages measurements after Run panics: it is
+	// called on the job goroutine once the panic has been recovered (the
+	// body is no longer executing) and its result becomes the job's
+	// metrics. Bodies typically snapshot progress — including a partial
+	// stall profile — at chunk boundaries and return the last snapshot
+	// here, so even a crashed job reports everything up to its last
+	// completed chunk. A panic inside Partial is swallowed; the job then
+	// reports zero metrics as before.
+	Partial func() Metrics
 }
 
 // label renders the cell coordinates for error messages.
@@ -224,6 +237,14 @@ func runOne(j *Job, parent context.Context, defTimeout time.Duration) Result {
 				buf = buf[:runtime.Stack(buf, false)]
 				o.err = fmt.Errorf("panic: %v\n%s", p, buf)
 				o.panicked = true
+				if j.Partial != nil {
+					// The body is dead; salvage what it measured up to its
+					// last completed chunk.
+					func() {
+						defer func() { recover() }() //nolint:errcheck // salvage must not re-panic
+						o.m = j.Partial()
+					}()
+				}
 			}
 			ch <- o
 		}()

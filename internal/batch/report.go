@@ -3,6 +3,8 @@ package batch
 import (
 	"bytes"
 	"encoding/json"
+
+	"rcpn/internal/obsv"
 )
 
 // JSON report, schema "rcpn-batch/v1". Two requirements shape it:
@@ -19,19 +21,20 @@ import (
 const Schema = "rcpn-batch/v1"
 
 type jsonJob struct {
-	Simulator string             `json:"simulator"`
-	Workload  string             `json:"workload"`
-	Config    string             `json:"config,omitempty"`
-	Interval  string             `json:"interval,omitempty"`
-	Cycles    int64              `json:"cycles"`
-	Instret   uint64             `json:"instructions"`
-	CPI       float64            `json:"cpi"`
-	Extra     map[string]float64 `json:"extra,omitempty"`
-	Error     string             `json:"error,omitempty"`
-	Panicked  bool               `json:"panicked,omitempty"`
-	TimedOut  bool               `json:"timed_out,omitempty"`
-	Canceled  bool               `json:"canceled,omitempty"`
-	WallSecs  float64            `json:"wall_seconds,omitempty"`
+	Simulator string              `json:"simulator"`
+	Workload  string              `json:"workload"`
+	Config    string              `json:"config,omitempty"`
+	Interval  string              `json:"interval,omitempty"`
+	Cycles    int64               `json:"cycles"`
+	Instret   uint64              `json:"instructions"`
+	CPI       float64             `json:"cpi"`
+	Extra     map[string]float64  `json:"extra,omitempty"`
+	Stalls    *obsv.StallSnapshot `json:"stalls,omitempty"`
+	Error     string              `json:"error,omitempty"`
+	Panicked  bool                `json:"panicked,omitempty"`
+	TimedOut  bool                `json:"timed_out,omitempty"`
+	Canceled  bool                `json:"canceled,omitempty"`
+	WallSecs  float64             `json:"wall_seconds,omitempty"`
 }
 
 type jsonReport struct {
@@ -56,7 +59,7 @@ func (rep *Report) JSON(includeWall bool) ([]byte, error) {
 			Simulator: r.Simulator, Workload: r.Workload,
 			Config: r.Config, Interval: r.Interval,
 			Cycles: r.Cycles, Instret: r.Instret, CPI: r.CPI(),
-			Extra: r.Extra, Error: r.Err,
+			Extra: r.Extra, Stalls: r.Stalls, Error: r.Err,
 			Panicked: r.Panicked, TimedOut: r.TimedOut, Canceled: r.Canceled,
 		}
 		if includeWall {

@@ -31,7 +31,11 @@
 // literal full-order sweep for ablation.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"rcpn/internal/obsv"
+)
 
 // ClassID identifies an instruction's operation class; each class has its
 // own sub-net. AnyClass marks transitions belonging to the instruction-
@@ -148,6 +152,11 @@ type Transition struct {
 	// through feedback queries (e.g. RegRef.CanReadIn(state)). Build uses
 	// these arcs to decide which places need the two-list algorithm.
 	Reads []*Place
+	// Explain, when set, sub-classifies a false Guard for stall
+	// attribution (e.g. RAW wait vs writeback wait). It is consulted only
+	// on the profiling slow path, never during normal simulation, and
+	// must be side-effect free like the guard itself.
+	Explain func(tok *Token) obsv.StallKind
 
 	// Fires counts how many times the transition fired.
 	Fires uint64
@@ -172,9 +181,10 @@ type Token struct {
 	Delay int64
 
 	place   *Place
-	readyAt int64 // first cycle output transitions may consider the token
-	movedAt int64 // cycle of last firing (one move per cycle)
-	staged  bool  // sitting in a two-list staging buffer
+	readyAt int64  // first cycle output transitions may consider the token
+	movedAt int64  // cycle of last firing (one move per cycle)
+	staged  bool   // sitting in a two-list staging buffer
+	seq     uint64 // trace identity, assigned at birth when tracing
 }
 
 // Place returns the token's current place (nil after retirement or before
@@ -228,6 +238,14 @@ type Net struct {
 	promoteQ   []*Place          // two-list places with staged arrivals
 	wheel      [][]int32         // wakeup wheel of positions, cycle & wheelMask
 	farWake    map[int64][]int32 // wakeups beyond the wheel horizon
+
+	// Observability attachments (see obsv.go); nil unless enabled.
+	tracer     *obsv.Tracer
+	prof       *obsv.StallProfile
+	profStages []*Stage   // finite stages in the profile, in id order
+	profPlaces [][]*Place // per profiled stage: its non-end places
+	profFired  []int64    // per stage id: last cycle a transition fired out
+	tokSeq     uint64     // trace token-identity counter
 }
 
 // SetDynamicSearch toggles the ablation mode in which enabled transitions

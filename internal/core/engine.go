@@ -100,6 +100,9 @@ func (n *Net) Step() {
 	for _, s := range n.sources {
 		n.fireSource(s)
 	}
+	if n.prof != nil {
+		n.profileCycle()
+	}
 	n.cycle++
 }
 
@@ -115,6 +118,9 @@ func (n *Net) stepSweep() {
 	}
 	for _, s := range n.sources {
 		n.fireSource(s)
+	}
+	if n.prof != nil {
+		n.profileCycle()
 	}
 	n.cycle++
 }
@@ -303,14 +309,26 @@ func (n *Net) fire(t *Transition, tok *Token, idx int) {
 	}
 
 	tok.movedAt = n.cycle
+	if n.prof != nil {
+		n.profFired[from.Stage.id] = n.cycle
+	}
+	if n.tracer != nil {
+		n.tracer.Fire(n.cycle, tok.seq, int32(from.id), int32(t.id))
+	}
 	if t.To.End {
 		n.RetiredCount++
+		if n.tracer != nil {
+			n.tracer.Retire(n.cycle, tok.seq, int32(from.id))
+		}
 		if n.retire != nil {
 			n.retire(tok)
 		}
 		return
 	}
 	n.deliver(tok, t.To, t.Delay)
+	if n.tracer != nil {
+		n.tracer.Move(n.cycle, tok.seq, int32(t.To.id), int32(from.id))
+	}
 }
 
 // deliver places tok into p, computing its residency delay: the token delay
@@ -370,6 +388,11 @@ func (n *Net) fireSource(s *Source) {
 	}
 	s.Fires++
 	tok.movedAt = n.cycle
+	if n.tracer != nil {
+		n.tokSeq++
+		tok.seq = n.tokSeq
+		n.tracer.Birth(n.cycle, tok.seq, int32(s.To.id))
+	}
 	n.deliver(tok, s.To, 0)
 }
 
@@ -382,8 +405,16 @@ func (n *Net) Inject(tok *Token, p *Place) bool {
 	if !p.End && p.Stage.Free() < 1 {
 		return false
 	}
+	if n.tracer != nil && tok.seq == 0 {
+		n.tokSeq++
+		tok.seq = n.tokSeq
+		n.tracer.Birth(n.cycle, tok.seq, int32(p.id))
+	}
 	if p.End {
 		n.RetiredCount++
+		if n.tracer != nil {
+			n.tracer.Retire(n.cycle, tok.seq, int32(p.id))
+		}
 		if n.retire != nil {
 			n.retire(tok)
 		}
@@ -445,6 +476,7 @@ func (t *Token) Recycle(class ClassID, data any) {
 	t.readyAt = -1
 	t.movedAt = -1
 	t.staged = false
+	t.seq = 0
 }
 
 // TokenPool is a free list of instruction tokens. Retire callbacks put

@@ -12,6 +12,7 @@ import (
 	"rcpn/internal/arm"
 	"rcpn/internal/bpred"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 )
 
 // CPU is the architected state plus execution plumbing.
@@ -30,6 +31,10 @@ type CPU struct {
 
 	// MaxInstrs aborts runaway programs; 0 means no limit.
 	MaxInstrs uint64
+
+	// Observability attachments (obsv.go); nil unless enabled.
+	prof *obsv.StallProfile
+	tr   *obsv.Tracer
 
 	// Warm units for SMARTS-style functional warming during fast-forward:
 	// when non-nil they are touched with the committed-path access stream
@@ -88,6 +93,14 @@ func (c *CPU) Step() error {
 		c.decode[addr] = ins
 	}
 	c.Instret++
+	if c.prof != nil {
+		c.prof.Advance(0)
+		c.prof.EndCycle()
+	}
+	if c.tr != nil {
+		c.tr.Birth(int64(c.Instret), c.Instret, 0)
+		c.tr.Retire(int64(c.Instret), c.Instret, 0)
+	}
 	nextPC := addr + 4
 	if c.WarmI != nil {
 		c.WarmI.Access(addr)

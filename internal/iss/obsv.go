@@ -1,0 +1,31 @@
+package iss
+
+import "rcpn/internal/obsv"
+
+// Observability for the golden model. The ISS has no pipeline — every
+// step retires exactly one instruction — so the profile is the degenerate
+// single-stage partition (one Occupied slot per instruction) and the
+// trace is a retire-only event stream. Both exist so the ISS can stand in
+// any cross-engine comparison of observability artifacts, not because the
+// functional model has stalls to attribute. CPU implements
+// obsv.Instrumentable.
+
+// AttachTrace routes instruction retirements into tr. Must be called
+// before the first step.
+func (c *CPU) AttachTrace(tr *obsv.Tracer) {
+	tr.Locs = []string{"commit"}
+	c.tr = tr
+}
+
+// EnableProfile returns the (trivial) single-stage profile. Must be
+// called before the first step; calling it again returns the same
+// profile.
+func (c *CPU) EnableProfile() *obsv.StallProfile {
+	if c.prof == nil {
+		c.prof = obsv.NewStallProfile("commit")
+	}
+	return c.prof
+}
+
+// Profile returns the attached stall profile, or nil.
+func (c *CPU) Profile() *obsv.StallProfile { return c.prof }

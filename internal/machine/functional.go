@@ -72,5 +72,13 @@ func (m *Machine) stepFunctional() {
 	in.Writeback()
 
 	m.Instret++
+	if m.prof != nil {
+		m.prof.Advance(0)
+		m.prof.EndCycle()
+	}
+	if m.funcTracer != nil {
+		m.funcTracer.Birth(int64(m.Instret), m.Instret, 0)
+		m.funcTracer.Retire(int64(m.Instret), m.Instret, 0)
+	}
 	m.recycle(in)
 }

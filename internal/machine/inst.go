@@ -205,6 +205,35 @@ func readable(op reg.Operand, bypass ...int) bool {
 	return false
 }
 
+// readFrom is the counting wrapper the issue actions use: it loads the
+// operand like the package-level readFrom and attributes the read to the
+// register file or the bypass network in the machine's stall profile, so
+// hazards *hidden* by forwarding are visible next to the ones that
+// stalled ("bypass-served" in the DESIGN.md §10 taxonomy).
+func (in *Inst) readFrom(op reg.Operand, bypass ...int) {
+	p := in.m.prof
+	if p == nil {
+		readFrom(op, bypass...)
+		return
+	}
+	if op == nil {
+		return
+	}
+	if op.CanRead() {
+		op.Read()
+		p.FileReads++
+		return
+	}
+	for _, s := range bypass {
+		if op.CanReadIn(s) {
+			op.ReadIn(s)
+			p.BypassServed++
+			return
+		}
+	}
+	op.ReadIn(-1)
+}
+
 // readFrom loads op's value from the register file or the first bypass state
 // holding it; guards must have established readability.
 func readFrom(op reg.Operand, bypass ...int) {

@@ -17,6 +17,7 @@ import (
 	"rcpn/internal/bpred"
 	"rcpn/internal/core"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 	"rcpn/internal/reg"
 )
 
@@ -79,6 +80,9 @@ type Machine struct {
 
 	cfg    Config
 	tracer *Tracer
+	// Observability attachments (obsv.go); nil unless enabled.
+	prof       *obsv.StallProfile
+	funcTracer *obsv.Tracer // functional mode's retire-only event trace
 	// functional marks a model running in extracted-functional mode
 	// (NewFunctional): program-order execution with no net or timing.
 	functional bool

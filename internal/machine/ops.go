@@ -2,6 +2,7 @@ package machine
 
 import (
 	"rcpn/internal/arm"
+	"rcpn/internal/obsv"
 	"rcpn/internal/reg"
 )
 
@@ -90,12 +91,67 @@ func (in *Inst) IssueReady(bypass []int) bool {
 	}
 }
 
+// IssueStallKind sub-classifies a false IssueReady for stall attribution
+// (core consults it through Transition.Explain, profiling slow path only):
+// a source operand — including the flags — unavailable in the file and on
+// every bypass is a RAW wait; otherwise the blocking clause must be a
+// destination that cannot be reserved, a writeback-order wait. The clause
+// order mirrors IssueReady exactly.
+func (in *Inst) IssueStallKind(bypass []int) obsv.StallKind {
+	pass, ready := in.peekCond(bypass)
+	if !ready {
+		return obsv.StallRAW // flags not yet forwardable
+	}
+	if !pass {
+		return obsv.StallGuard // annulled instructions need nothing; not a hazard
+	}
+	anyUnreadable := func(ops ...reg.Operand) bool {
+		for _, op := range ops {
+			if !readable(op, bypass...) {
+				return true
+			}
+		}
+		return false
+	}
+	switch in.I.Class {
+	case arm.ClassDataProc, arm.ClassMult:
+		if anyUnreadable(in.src1, in.src2, in.src3) {
+			return obsv.StallRAW
+		}
+	case arm.ClassLoadStore:
+		if anyUnreadable(in.src1, in.src2) {
+			return obsv.StallRAW
+		}
+		if !in.I.Load && !readable(in.src3, bypass...) {
+			return obsv.StallRAW
+		}
+	case arm.ClassLoadStoreM:
+		if !readable(in.src1, bypass...) {
+			return obsv.StallRAW
+		}
+		if !in.I.Load {
+			for _, r := range in.lrefs {
+				if r != nil && !readable(r, bypass...) {
+					return obsv.StallRAW
+				}
+			}
+		}
+	case arm.ClassBranch:
+		// Only the link-register reservation can block a branch.
+	default: // System
+		if !readable(in.src1, bypass...) {
+			return obsv.StallRAW
+		}
+	}
+	return obsv.StallWriteback
+}
+
 // Issue is the issue-stage action: read the flags, evaluate the condition
 // (annulling the instruction if it fails), read source operands over the
 // register file or bypass network, and reserve the destinations.
 func (in *Inst) Issue(bypass []int) {
 	if in.psr != nil {
-		readFrom(in.psr, bypass...)
+		in.readFrom(in.psr, bypass...)
 		f := in.flags()
 		if !in.I.Cond.Passes(f.N, f.Z, f.C, f.V) {
 			in.annulled = true
@@ -104,9 +160,9 @@ func (in *Inst) Issue(bypass []int) {
 	}
 	switch in.I.Class {
 	case arm.ClassDataProc, arm.ClassMult:
-		readFrom(in.src1, bypass...)
-		readFrom(in.src2, bypass...)
-		readFrom(in.src3, bypass...)
+		in.readFrom(in.src1, bypass...)
+		in.readFrom(in.src2, bypass...)
+		in.readFrom(in.src3, bypass...)
 		if in.I.Long && in.I.Accum {
 			// UMLAL/SMLAL read their destinations as the 64-bit accumulator;
 			// the guard established CanWrite, which implies self-readability.
@@ -124,21 +180,21 @@ func (in *Inst) Issue(bypass []int) {
 		}
 
 	case arm.ClassLoadStore:
-		readFrom(in.src1, bypass...)
-		readFrom(in.src2, bypass...)
+		in.readFrom(in.src1, bypass...)
+		in.readFrom(in.src2, bypass...)
 		if in.I.Load {
 			if in.dst != nil {
 				in.dst.ReserveWrite()
 			}
 		} else {
-			readFrom(in.src3, bypass...)
+			in.readFrom(in.src3, bypass...)
 		}
 		if in.baseWriteback() {
 			in.baseRef().ReserveWrite()
 		}
 
 	case arm.ClassLoadStoreM:
-		readFrom(in.src1, bypass...)
+		in.readFrom(in.src1, bypass...)
 		for _, r := range in.lrefs {
 			if r == nil {
 				continue
@@ -146,7 +202,7 @@ func (in *Inst) Issue(bypass []int) {
 			if in.I.Load {
 				r.ReserveWrite()
 			} else {
-				readFrom(r, bypass...)
+				in.readFrom(r, bypass...)
 			}
 		}
 		if in.I.Writeback && in.lsmBase != nil {
@@ -159,7 +215,7 @@ func (in *Inst) Issue(bypass []int) {
 		}
 
 	case arm.ClassSystem:
-		readFrom(in.src1, bypass...)
+		in.readFrom(in.src1, bypass...)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"rcpn/internal/bpred"
 	"rcpn/internal/core"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 )
 
 // This file is the declarative model-description layer: a processor is
@@ -220,8 +221,9 @@ func addRoleTransition(n *core.Net, inst func(*core.Token) *Inst,
 	case RoleIssue:
 		t := &core.Transition{
 			Name: name, Class: class, From: from, To: to,
-			Guard:  func(tok *core.Token) bool { return inst(tok).IssueReady(bypass) },
-			Action: func(tok *core.Token) { inst(tok).Issue(bypass) },
+			Guard:   func(tok *core.Token) bool { return inst(tok).IssueReady(bypass) },
+			Explain: func(tok *core.Token) obsv.StallKind { return inst(tok).IssueStallKind(bypass) },
+			Action:  func(tok *core.Token) { inst(tok).Issue(bypass) },
 		}
 		if c == arm.ClassMult {
 			t.Action = func(tok *core.Token) {

@@ -5,6 +5,7 @@ import (
 	"rcpn/internal/bpred"
 	"rcpn/internal/core"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 )
 
 // NewStrongARM builds the StrongARM (SA-110) model of the paper's
@@ -47,8 +48,9 @@ func NewStrongARM(p *arm.Program, cfg Config) *Machine {
 
 		issue := &core.Transition{
 			Name: name + ".issue", Class: class, From: fd, To: ex,
-			Guard:  func(tok *core.Token) bool { return inst(tok).IssueReady(bypass) },
-			Action: func(tok *core.Token) { inst(tok).Issue(bypass) },
+			Guard:   func(tok *core.Token) bool { return inst(tok).IssueReady(bypass) },
+			Explain: func(tok *core.Token) obsv.StallKind { return inst(tok).IssueStallKind(bypass) },
+			Action:  func(tok *core.Token) { inst(tok).Issue(bypass) },
 		}
 		if c == arm.ClassMult {
 			// The multiplier occupies EX for a data-dependent number of

@@ -5,6 +5,7 @@ import (
 	"rcpn/internal/bpred"
 	"rcpn/internal/core"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 )
 
 // NewXScale builds the XScale (PXA250) model of Fig. 9: an in-order-issue,
@@ -58,7 +59,8 @@ func NewXScale(p *arm.Program, cfg Config) *Machine {
 	issueTo := func(c arm.Class, to *core.Place, extra func(*Inst, *core.Token)) {
 		n.AddTransition(&core.Transition{
 			Name: c.String() + ".issue", Class: core.ClassID(c), From: rf, To: to,
-			Guard: func(tok *core.Token) bool { return inst(tok).IssueReady(bypass) },
+			Guard:   func(tok *core.Token) bool { return inst(tok).IssueReady(bypass) },
+			Explain: func(tok *core.Token) obsv.StallKind { return inst(tok).IssueStallKind(bypass) },
 			Action: func(tok *core.Token) {
 				in := inst(tok)
 				in.Issue(bypass)

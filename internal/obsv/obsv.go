@@ -1,0 +1,296 @@
+// Package obsv is the observability layer shared by every engine in this
+// repository: per-stage stall attribution (StallProfile), a bounded
+// ring-buffer event tracer with Chrome trace_event and compact binary
+// writers (Tracer), and a minimal Prometheus text-format exposition
+// helper used by the simulation service.
+//
+// Two invariants govern the whole package:
+//
+//   - Zero overhead when disabled. Engines keep a nil pointer to their
+//     attachment and guard every hook with a single nil check; nothing is
+//     allocated, counted or formatted unless the caller opted in.
+//   - Determinism. Every emitted artifact — stall tables, trace files,
+//     report fragments — is a pure function of the simulated run: cycle
+//     numbers are the only timestamps, iteration orders are fixed, and no
+//     wall-clock or map-order nondeterminism leaks in. Two runs of the
+//     same spec produce byte-identical output, so everything here is
+//     golden-testable.
+//
+// The package depends only on the standard library so that internal/core
+// and every engine above it can import it without cycles.
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StallKind classifies why a pipeline stage made no forward progress in a
+// cycle. The taxonomy mirrors the transition-enabling clauses of the RCPN
+// formalism (DESIGN.md §10): a transition fires only if its output stage
+// has capacity, its reservation inputs hold tokens, and its guard is
+// true — each clause that fails maps to one kind, and the guard clause is
+// sub-classified into the register-hazard kinds when the model can tell.
+type StallKind uint8
+
+const (
+	// StallEmpty: the stage held no token — a pipeline bubble (the
+	// "input token absent" clause: nothing upstream delivered work).
+	StallEmpty StallKind = iota
+	// StallDelay: the stage's token is still inside a multi-cycle
+	// residency delay (cache miss penalty, multiplier latency, pipeline
+	// fill) and is not yet eligible to fire.
+	StallDelay
+	// StallGuard: a guard predicate evaluated false for a reason the
+	// model did not sub-classify (serialization, branch recovery, ...).
+	StallGuard
+	// StallCapacity: the output stage was full — structural back-pressure.
+	StallCapacity
+	// StallReservation: a reservation place held no token (shared
+	// resource such as a multiplier or memory port already claimed).
+	StallReservation
+	// StallRAW: guard false because a source operand was not readable in
+	// the register file or on any bypass path — a true RAW hazard wait.
+	StallRAW
+	// StallWriteback: guard false because a destination could not be
+	// reserved or written back — a WAW/writeback-order wait.
+	StallWriteback
+
+	// NumStallKinds bounds the per-kind counter arrays.
+	NumStallKinds
+)
+
+var stallNames = [NumStallKinds]string{
+	"empty", "delay", "guard", "capacity", "reservation", "raw", "writeback",
+}
+
+func (k StallKind) String() string {
+	if int(k) < len(stallNames) {
+		return stallNames[k]
+	}
+	return fmt.Sprintf("stallkind(%d)", uint8(k))
+}
+
+// StageProfile is one pipeline stage's cycle accounting. Every simulated
+// cycle contributes exactly one slot to exactly one bucket: Occupied when
+// the stage advanced work (fired a token onward, retired one, or made a
+// micro-step of multi-cycle progress), or one of the Counts when it did
+// not. The identity Occupied + sum(Counts) == Cycles is what makes the
+// profile a partition of time rather than a pile of overlapping counters.
+type StageProfile struct {
+	Name string `json:"name"`
+	// Occupied counts cycles in which the stage made forward progress.
+	Occupied uint64 `json:"occupied"`
+	// Counts[k] counts cycles lost to StallKind k.
+	Counts [NumStallKinds]uint64 `json:"-"`
+}
+
+// Stalls returns the stage's total stall slots across all kinds.
+func (s *StageProfile) Stalls() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// StallProfile is a full per-stage stall attribution for one run. Engines
+// create it through NewStallProfile at attach time and account one slot
+// per stage per cycle; nil receivers are inert so call sites need no
+// guards of their own beyond the engine's single attachment check.
+type StallProfile struct {
+	// Cycles is the number of simulated cycles accounted so far.
+	Cycles uint64
+	// Stages holds one entry per pipeline stage, in pipeline order.
+	Stages []StageProfile
+	// BypassServed counts source-operand reads satisfied by a bypass
+	// (forwarding) path instead of the architected register file. These
+	// are event counters, not cycle slots: they record hazards that were
+	// *hidden* and so never show up in the per-stage stall partition.
+	BypassServed uint64
+	// FileReads counts source-operand reads served by the register file.
+	FileReads uint64
+}
+
+// NewStallProfile builds a profile over the named stages in pipeline order.
+func NewStallProfile(stages ...string) *StallProfile {
+	p := &StallProfile{Stages: make([]StageProfile, len(stages))}
+	for i, name := range stages {
+		p.Stages[i].Name = name
+	}
+	return p
+}
+
+// Advance accounts one forward-progress slot for the stage.
+func (p *StallProfile) Advance(stage int) { p.Stages[stage].Occupied++ }
+
+// Stall accounts one stall slot of kind k for the stage.
+func (p *StallProfile) Stall(stage int, k StallKind) { p.Stages[stage].Counts[k]++ }
+
+// EndCycle marks one simulated cycle accounted. Engines call it once per
+// cycle after filling every stage's slot.
+func (p *StallProfile) EndCycle() { p.Cycles++ }
+
+// Validate checks the slot partition: for every stage,
+// Occupied + sum(Counts) must equal Cycles — equivalently, total stall
+// cycles sum to (Cycles × stages − occupied cycles). A violation means an
+// engine double-counted or skipped a (stage, cycle) slot.
+func (p *StallProfile) Validate() error {
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		if got := s.Occupied + s.Stalls(); got != p.Cycles {
+			return fmt.Errorf("stage %s: occupied %d + stalls %d = %d slots, want %d cycles",
+				s.Name, s.Occupied, s.Stalls(), got, p.Cycles)
+		}
+	}
+	return nil
+}
+
+// Table renders the profile as an aligned text table, one row per stage,
+// with per-kind stall columns and an occupancy percentage. Deterministic:
+// fixed column order, no wall-clock.
+func (p *StallProfile) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %7s", "stage", "occupied", "occ%")
+	for k := StallKind(0); k < NumStallKinds; k++ {
+		fmt.Fprintf(&b, " %11s", k.String())
+	}
+	b.WriteByte('\n')
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		pct := 0.0
+		if p.Cycles > 0 {
+			pct = 100 * float64(s.Occupied) / float64(p.Cycles)
+		}
+		fmt.Fprintf(&b, "%-10s %12d %6.1f%%", s.Name, s.Occupied, pct)
+		for k := StallKind(0); k < NumStallKinds; k++ {
+			fmt.Fprintf(&b, " %11d", s.Counts[k])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "cycles %d", p.Cycles)
+	if p.BypassServed+p.FileReads > 0 {
+		fmt.Fprintf(&b, "; operand reads: %d bypass, %d regfile", p.BypassServed, p.FileReads)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// jsonStage is the serialized form of one stage: the fixed-size kind
+// array becomes a name→count object so the report stays self-describing
+// when the taxonomy grows.
+type jsonStage struct {
+	Name     string            `json:"name"`
+	Occupied uint64            `json:"occupied"`
+	Stalls   map[string]uint64 `json:"stalls"`
+}
+
+// Snapshot returns a plain-data copy of the profile suitable for
+// deterministic JSON embedding in rcpn-batch/v1 reports: maps hold only
+// nonzero kinds (encoding/json sorts the keys, keeping bytes stable).
+func (p *StallProfile) Snapshot() *StallSnapshot {
+	if p == nil {
+		return nil
+	}
+	snap := &StallSnapshot{
+		Cycles:       p.Cycles,
+		BypassServed: p.BypassServed,
+		FileReads:    p.FileReads,
+		Stages:       make([]jsonStage, len(p.Stages)),
+	}
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		js := jsonStage{Name: s.Name, Occupied: s.Occupied, Stalls: map[string]uint64{}}
+		for k := StallKind(0); k < NumStallKinds; k++ {
+			if s.Counts[k] != 0 {
+				js.Stalls[k.String()] = s.Counts[k]
+			}
+		}
+		snap.Stages[i] = js
+	}
+	return snap
+}
+
+// Merge adds a snapshot's accounting into the profile — the resume
+// primitive: a run restored from a checkpoint seeds its fresh profile
+// with the donor attempt's accounting, so the finished profile covers
+// the whole run and a resumed result stays byte-identical to an
+// uninterrupted one. The snapshot must describe the same stage list.
+func (p *StallProfile) Merge(s *StallSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Stages) != len(p.Stages) {
+		return fmt.Errorf("obsv: merge: snapshot has %d stages, profile has %d", len(s.Stages), len(p.Stages))
+	}
+	for i := range s.Stages {
+		if s.Stages[i].Name != p.Stages[i].Name {
+			return fmt.Errorf("obsv: merge: stage %d is %q, profile has %q",
+				i, s.Stages[i].Name, p.Stages[i].Name)
+		}
+		for name := range s.Stages[i].Stalls {
+			if _, ok := kindByName(name); !ok {
+				return fmt.Errorf("obsv: merge: unknown stall kind %q", name)
+			}
+		}
+	}
+	for i := range s.Stages {
+		in := &s.Stages[i]
+		st := &p.Stages[i]
+		st.Occupied += in.Occupied
+		for name, n := range in.Stalls {
+			k, _ := kindByName(name)
+			st.Counts[k] += n
+		}
+	}
+	p.Cycles += s.Cycles
+	p.BypassServed += s.BypassServed
+	p.FileReads += s.FileReads
+	return nil
+}
+
+func kindByName(name string) (StallKind, bool) {
+	for k, n := range stallNames {
+		if n == name {
+			return StallKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a deep copy of the profile — the snapshot primitive for
+// partial-result salvage: a driver can copy the live profile at a chunk
+// boundary and hand the copy out even if the run later panics.
+func (p *StallProfile) Clone() *StallProfile {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.Stages = append([]StageProfile(nil), p.Stages...)
+	return &c
+}
+
+// StallSnapshot is the JSON form of a StallProfile as embedded in
+// rcpn-batch/v1 reports under "stalls".
+type StallSnapshot struct {
+	Cycles       uint64      `json:"cycles"`
+	Stages       []jsonStage `json:"stages"`
+	BypassServed uint64      `json:"bypass_served,omitempty"`
+	FileReads    uint64      `json:"file_reads,omitempty"`
+}
+
+// TopStalls returns the stall kinds of a stage sorted by descending
+// count (ties broken by kind order), for compact reporting.
+func (s *StageProfile) TopStalls() []StallKind {
+	kinds := make([]StallKind, 0, NumStallKinds)
+	for k := StallKind(0); k < NumStallKinds; k++ {
+		if s.Counts[k] > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.SliceStable(kinds, func(a, b int) bool {
+		return s.Counts[kinds[a]] > s.Counts[kinds[b]]
+	})
+	return kinds
+}

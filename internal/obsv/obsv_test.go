@@ -1,0 +1,363 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStallPartition: Validate accepts an exact slot partition and names
+// the offending stage when a slot is double-counted or skipped.
+func TestStallPartition(t *testing.T) {
+	p := NewStallProfile("IF", "EX")
+	for c := 0; c < 10; c++ {
+		p.Advance(0)
+		if c%2 == 0 {
+			p.Advance(1)
+		} else {
+			p.Stall(1, StallRAW)
+		}
+		p.EndCycle()
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stall(1, StallEmpty) // 11 slots in a 10-cycle profile
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an over-full stage")
+	}
+	if !strings.Contains(err.Error(), "EX") {
+		t.Fatalf("violation does not name the stage: %v", err)
+	}
+}
+
+// TestStallSnapshotJSON: snapshots carry only nonzero kinds, and their
+// JSON encoding is byte-deterministic.
+func TestStallSnapshotJSON(t *testing.T) {
+	p := NewStallProfile("IF")
+	p.Advance(0)
+	p.EndCycle()
+	p.Stall(0, StallCapacity)
+	p.EndCycle()
+	p.BypassServed = 3
+
+	snap := p.Snapshot()
+	if len(snap.Stages[0].Stalls) != 1 {
+		t.Fatalf("snapshot carries zero-count kinds: %v", snap.Stages[0].Stalls)
+	}
+	if snap.Stages[0].Stalls["capacity"] != 1 {
+		t.Fatalf("capacity stall lost: %v", snap.Stages[0].Stalls)
+	}
+	a, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", a, b)
+	}
+	if (*StallProfile)(nil).Snapshot() != nil {
+		t.Fatal("nil profile must snapshot to nil")
+	}
+}
+
+// TestStallMerge: seeding a fresh profile from a snapshot and accruing
+// more cycles equals one straight-through profile — the resume primitive.
+func TestStallMerge(t *testing.T) {
+	account := func(p *StallProfile, cycles int) {
+		for c := 0; c < cycles; c++ {
+			p.Advance(0)
+			if c%3 == 0 {
+				p.Stall(1, StallDelay)
+			} else {
+				p.Advance(1)
+			}
+			p.EndCycle()
+		}
+		p.BypassServed += uint64(cycles)
+	}
+
+	whole := NewStallProfile("IF", "EX")
+	account(whole, 7)
+	account(whole, 5)
+
+	donor := NewStallProfile("IF", "EX")
+	account(donor, 7)
+	resumed := NewStallProfile("IF", "EX")
+	if err := resumed.Merge(donor.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	account(resumed, 5)
+
+	if err := resumed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(whole.Snapshot())
+	b, _ := json.Marshal(resumed.Snapshot())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged profile differs from straight-through:\n%s\n%s", a, b)
+	}
+	if err := resumed.Merge(nil); err != nil {
+		t.Fatal("nil snapshot must merge as a no-op")
+	}
+
+	// Mismatches are rejected without touching the profile.
+	before, _ := json.Marshal(resumed.Snapshot())
+	if err := resumed.Merge(NewStallProfile("IF").Snapshot()); err == nil {
+		t.Fatal("accepted a snapshot with the wrong stage count")
+	}
+	bad := NewStallProfile("IF", "MEM").Snapshot()
+	if err := resumed.Merge(bad); err == nil {
+		t.Fatal("accepted a snapshot with mismatched stage names")
+	}
+	bad = NewStallProfile("IF", "EX").Snapshot()
+	bad.Stages[1].Stalls["warp"] = 1
+	if err := resumed.Merge(bad); err == nil {
+		t.Fatal("accepted a snapshot with an unknown stall kind")
+	}
+	after, _ := json.Marshal(resumed.Snapshot())
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed merges must leave the profile untouched")
+	}
+}
+
+// TestStallClone: a clone is independent of the live profile — the
+// salvage primitive must not alias stage counters.
+func TestStallClone(t *testing.T) {
+	p := NewStallProfile("IF")
+	p.Advance(0)
+	p.EndCycle()
+	c := p.Clone()
+	p.Advance(0)
+	p.EndCycle()
+	if c.Cycles != 1 || c.Stages[0].Occupied != 1 {
+		t.Fatalf("clone tracked the original: %+v", c)
+	}
+	if p.Cycles != 2 {
+		t.Fatalf("original perturbed: %+v", p)
+	}
+}
+
+// TestTopStalls sorts by descending count with kind-order ties.
+func TestTopStalls(t *testing.T) {
+	var s StageProfile
+	s.Counts[StallRAW] = 5
+	s.Counts[StallEmpty] = 9
+	s.Counts[StallDelay] = 5
+	got := s.TopStalls()
+	want := []StallKind{StallEmpty, StallDelay, StallRAW}
+	if len(got) != len(want) {
+		t.Fatalf("TopStalls = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopStalls = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTracerRing: a full ring keeps the most recent events in emission
+// order and counts what it evicted.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for c := int64(0); c < 10; c++ {
+		tr.Birth(c, uint64(c), 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d at cycle %d, want %d (ring must keep the last events, oldest first)", i, e.Cycle, want)
+		}
+	}
+}
+
+// TestBinaryRoundTrip: WriteBinary/ReadBinary preserve events, name
+// tables and the drop count exactly.
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Locs = []string{"IF", "EX"}
+	tr.Ops = []string{"fetch", "alu"}
+	tr.Birth(1, 7, 0)
+	tr.Move(2, 7, 1, 0)
+	tr.Fire(2, 7, 1, 1)
+	tr.Retire(3, 7, 1)
+	tr.dropped = 42
+
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Dropped() != 42 {
+		t.Fatalf("dropped = %d, want 42", rt.Dropped())
+	}
+	a, b := tr.Events(), rt.Events()
+	if len(a) != len(b) {
+		t.Fatalf("%d events, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, b[i], a[i])
+		}
+	}
+	if strings.Join(rt.Locs, ",") != "IF,EX" || strings.Join(rt.Ops, ",") != "fetch,alu" {
+		t.Fatalf("name tables lost: %v %v", rt.Locs, rt.Ops)
+	}
+}
+
+// TestReadBinaryRejects: bad magic and truncation are errors, never
+// silent partial traces.
+func TestReadBinaryRejects(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTATRCE-------")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	tr := NewTracer(4)
+	tr.Birth(1, 1, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := len(whole) - 1; cut > 8; cut /= 2 {
+		if _, err := ReadBinary(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("accepted trace truncated to %d/%d bytes", cut, len(whole))
+		}
+	}
+}
+
+// TestWrapStalls: the checkpoint framing round-trips a snapshot plus an
+// opaque payload, and passes unframed payloads through untouched.
+func TestWrapStalls(t *testing.T) {
+	p := NewStallProfile("IF")
+	p.Advance(0)
+	p.EndCycle()
+	payload := []byte("RCPNCKPT-opaque-engine-bytes")
+
+	wrapped := WrapStalls(p.Snapshot(), payload)
+	snap, rest := SplitStalls(wrapped)
+	if snap == nil || snap.Cycles != 1 {
+		t.Fatalf("snapshot lost in framing: %+v", snap)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload corrupted: %q", rest)
+	}
+	if snap, rest := SplitStalls(payload); snap != nil || !bytes.Equal(rest, payload) {
+		t.Fatal("unframed payload must pass through untouched")
+	}
+	// A truncated frame degrades to pass-through, never panics.
+	if snap, rest := SplitStalls(wrapped[:len(stallMagic)+2]); snap != nil || rest == nil {
+		t.Fatal("truncated frame must degrade to pass-through")
+	}
+}
+
+// TestChromeJSON: the Chrome export is valid JSON, reports drops, and a
+// move closes the source residency before opening the destination.
+func TestChromeJSON(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Locs = []string{"IF", "EX"}
+	tr.Birth(0, 1, 0) // evicted by the two later events
+	tr.Move(1, 1, 1, 0)
+	tr.Fire(1, 1, 1, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		OtherData struct {
+			Dropped uint64 `json:"dropped"`
+		} `json:"otherData"`
+		Events []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    *int64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if v.OtherData.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", v.OtherData.Dropped)
+	}
+	// The move renders as E(IF) then B(EX); the fire as an instant.
+	phases := make([]string, 0, len(v.Events))
+	for _, e := range v.Events {
+		if e.TS == nil {
+			t.Fatalf("event lacks ts: %+v", e)
+		}
+		phases = append(phases, e.Phase+":"+e.Name)
+	}
+	if got := strings.Join(phases, " "); got != "E:IF B:EX i:op0" {
+		t.Fatalf("events = %q, want %q", got, "E:IF B:EX i:op0")
+	}
+}
+
+// TestMetricsWriter: a page with every metric shape passes the strict
+// validator, renders deterministic sorted labels, and formats whole
+// floats as integers.
+func TestMetricsWriter(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	m := NewMetricsWriter(&buf)
+	m.Gauge("g", "a gauge", 3, nil)
+	m.Counter("c", "a counter", 7, map[string]string{"b": "2", "a": "1"})
+	m.MultiGauge("mg", "a family", []LabeledValue{
+		{Labels: map[string]string{"state": "x"}, Value: 1},
+		{Labels: map[string]string{"state": "y"}, Value: 0},
+	})
+	m.HistogramMetric("hist", "a histogram", h)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+
+	if n, err := ValidateProm([]byte(page)); err != nil {
+		t.Fatalf("page invalid: %v\n%s", err, page)
+	} else if n != 9 { // g, c, mg×2, hist: 3 buckets + sum + count
+		t.Fatalf("validator saw %d samples, want 9\n%s", n, page)
+	}
+	for _, want := range []string{
+		"g 3\n",
+		`c{a="1",b="2"} 7` + "\n",
+		`hist_bucket{le="1"} 1` + "\n",
+		`hist_bucket{le="10"} 2` + "\n",
+		`hist_bucket{le="+Inf"} 3` + "\n",
+		"hist_sum 55.5\n",
+		"hist_count 3\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page lacks %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestValidatePromRejects: the strict parser is actually strict.
+func TestValidatePromRejects(t *testing.T) {
+	for name, page := range map[string]string{
+		"untyped sample": "orphan 1\n",
+		"bad value":      "# TYPE x gauge\nx banana\n",
+		"missing value":  "# TYPE x gauge\nx\n",
+		"empty page":     "",
+	} {
+		if _, err := ValidateProm([]byte(page)); err == nil {
+			t.Errorf("%s: accepted %q", name, page)
+		}
+	}
+}

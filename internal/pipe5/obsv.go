@@ -1,0 +1,63 @@
+package pipe5
+
+import "rcpn/internal/obsv"
+
+// Observability for the hand-written baseline. The four pipeline latches
+// are the profiled stages; each stage function accounts exactly one slot
+// for the latch it drains every cycle (the return paths map one-to-one
+// onto the stall taxonomy), so the Occupied + stalls == cycles partition
+// holds by construction. Sim implements obsv.Instrumentable.
+
+// Profiled stage indices: the latch each stage function drains.
+const (
+	stIFID = iota // fq: fetch latch, drained by ID
+	stIDEX        // dx: issue latch, drained by EX
+	stEXME        // mx: execute latch, drained by MEM
+	stMEWB        // wx: memory latch, drained by WB
+)
+
+var stageNames = []string{"IF/ID", "ID/EX", "EX/MEM", "MEM/WB"}
+
+// Trace operation indices (Tracer.Ops).
+const (
+	opIssue = iota
+	opExecute
+	opMem
+	opWriteback
+	opLSMStep
+)
+
+var opNames = []string{"issue", "execute", "mem", "writeback", "lsm.step"}
+
+// AttachTrace routes slot movements between the latches into tr. Must be
+// called before the first cycle.
+func (s *Sim) AttachTrace(tr *obsv.Tracer) {
+	tr.Locs = append([]string(nil), stageNames...)
+	tr.Ops = append([]string(nil), opNames...)
+	s.tr = tr
+}
+
+// EnableProfile turns on per-cycle stall attribution over the four
+// latches and returns the live profile. Must be called before the first
+// cycle; calling it again returns the same profile.
+func (s *Sim) EnableProfile() *obsv.StallProfile {
+	if s.prof == nil {
+		s.prof = obsv.NewStallProfile(stageNames...)
+	}
+	return s.prof
+}
+
+// Profile returns the attached stall profile, or nil.
+func (s *Sim) Profile() *obsv.StallProfile { return s.prof }
+
+func (s *Sim) profAdvance(st int) {
+	if s.prof != nil {
+		s.prof.Advance(st)
+	}
+}
+
+func (s *Sim) profStall(st int, k obsv.StallKind) {
+	if s.prof != nil {
+		s.prof.Stall(st, k)
+	}
+}

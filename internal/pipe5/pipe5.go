@@ -18,6 +18,7 @@ import (
 	"rcpn/internal/arm"
 	"rcpn/internal/bpred"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 )
 
 // Config mirrors machine.Config for the baseline.
@@ -89,6 +90,13 @@ type Sim struct {
 	Exited   bool
 	ExitCode uint32
 	Err      error
+
+	// Observability attachments (obsv.go); nil unless enabled. rdFile and
+	// rdByp tally the ID stage's operand reads during the hazard scan so
+	// the profile only counts them when the issue commits.
+	prof          *obsv.StallProfile
+	tr            *obsv.Tracer
+	rdFile, rdByp int
 }
 
 // New builds a baseline simulator with the program loaded. Defaults match
@@ -148,6 +156,9 @@ func (s *Sim) cycle() {
 	s.stageEX()
 	s.stageID()
 	s.stageIF()
+	if s.prof != nil {
+		s.prof.EndCycle()
+	}
 	s.Cycles++
 }
 
@@ -156,7 +167,13 @@ func (s *Sim) cycle() {
 func (s *Sim) stageWB() {
 	w := s.wx
 	if w == nil {
+		s.profStall(stMEWB, obsv.StallEmpty)
 		return
+	}
+	s.profAdvance(stMEWB)
+	if s.tr != nil {
+		s.tr.Fire(s.Cycles, w.seq, stMEWB, opWriteback)
+		s.tr.Retire(s.Cycles, w.seq, stMEWB)
 	}
 	s.wx = nil
 	ins := arm.Decode(w.raw, w.addr) // baseline re-decode
@@ -233,10 +250,12 @@ func (s *Sim) fail(format string, args ...any) {
 func (s *Sim) stageMEM() {
 	m := s.mx
 	if m == nil {
+		s.profStall(stEXME, obsv.StallEmpty)
 		return
 	}
 	if m.delay > 0 {
 		m.delay--
+		s.profStall(stEXME, obsv.StallDelay)
 		return
 	}
 	ins := arm.Decode(m.raw, m.addr) // baseline re-decode
@@ -246,6 +265,12 @@ func (s *Sim) stageMEM() {
 			s.memAccess(&ins, m)
 		case arm.ClassLoadStoreM:
 			if s.lsmStep(&ins, m) {
+				// A block-transfer micro-step is forward progress even though
+				// the slot stays resident in MEM.
+				s.profAdvance(stEXME)
+				if s.tr != nil {
+					s.tr.Fire(s.Cycles, m.seq, stEXME, opLSMStep)
+				}
 				return // more transfers pending; stay in MEM
 			}
 		}
@@ -253,6 +278,13 @@ func (s *Sim) stageMEM() {
 	if s.wx == nil {
 		s.mx = nil
 		s.wx = m
+		s.profAdvance(stEXME)
+		if s.tr != nil {
+			s.tr.Fire(s.Cycles, m.seq, stEXME, opMem)
+			s.tr.Move(s.Cycles, m.seq, stMEWB, stEXME)
+		}
+	} else {
+		s.profStall(stEXME, obsv.StallCapacity)
 	}
 }
 

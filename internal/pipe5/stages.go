@@ -1,20 +1,27 @@
 package pipe5
 
-import "rcpn/internal/arm"
+import (
+	"rcpn/internal/arm"
+	"rcpn/internal/obsv"
+)
 
 // ---- EX ----------------------------------------------------------------
 
 func (s *Sim) stageEX() {
 	e := s.dx
 	if e == nil {
+		s.profStall(stIDEX, obsv.StallEmpty)
 		return
 	}
 	if e.delay > 0 {
 		e.delay--
+		s.profStall(stIDEX, obsv.StallDelay)
 		return
 	}
 	if s.mx != nil {
-		return // structural stall: MEM busy (cache miss, block transfer)
+		// Structural stall: MEM busy (cache miss, block transfer).
+		s.profStall(stIDEX, obsv.StallCapacity)
+		return
 	}
 	ins := arm.Decode(e.raw, e.addr) // baseline re-decode
 	if !ins.Cond.Passes(s.F.N, s.F.Z, s.F.C, s.F.V) {
@@ -32,6 +39,11 @@ func (s *Sim) stageEX() {
 	}
 	s.dx = nil
 	s.mx = e
+	s.profAdvance(stIDEX)
+	if s.tr != nil {
+		s.tr.Fire(s.Cycles, e.seq, stIDEX, opExecute)
+		s.tr.Move(s.Cycles, e.seq, stEXME, stIDEX)
+	}
 }
 
 func (s *Sim) execute(ins *arm.Instr, e *slot) {
@@ -113,6 +125,10 @@ func (s *Sim) resolveEX(e *slot, actual uint32) {
 		if s.fetchHold == s.fq.seq {
 			s.fetchHold = 0
 		}
+		if s.tr != nil {
+			// Close the squashed instruction's residency span.
+			s.tr.Retire(s.Cycles, s.fq.seq, stIFID)
+		}
 		s.freeSlot(s.fq)
 		s.fq = nil
 	}
@@ -137,6 +153,7 @@ func (s *Sim) readReg(r arm.Reg, addrPlus8 uint32) (uint32, bool) {
 		return addrPlus8, true
 	}
 	if s.pending[r] == 0 {
+		s.rdFile++
 		return s.R[r], true
 	}
 	for _, sl := range [...]*slot{s.mx, s.wx} { // youngest first
@@ -144,6 +161,7 @@ func (s *Sim) readReg(r arm.Reg, addrPlus8 uint32) (uint32, bool) {
 			continue
 		}
 		if sl.ready&(1<<r) != 0 {
+			s.rdByp++
 			return sl.vals[r], true
 		}
 		return 0, false // youngest writer hasn't produced the value yet
@@ -154,14 +172,18 @@ func (s *Sim) readReg(r arm.Reg, addrPlus8 uint32) (uint32, bool) {
 func (s *Sim) stageID() {
 	d := s.fq
 	if d == nil {
+		s.profStall(stIFID, obsv.StallEmpty)
 		return
 	}
 	if d.delay > 0 {
 		d.delay--
+		s.profStall(stIFID, obsv.StallDelay)
 		return
 	}
 	if s.dx != nil {
-		return // EX latch occupied
+		// EX latch occupied.
+		s.profStall(stIFID, obsv.StallCapacity)
+		return
 	}
 	ins := arm.Decode(d.raw, d.addr) // baseline re-decode
 	p8 := d.addr + 8
@@ -243,9 +265,11 @@ func (s *Sim) stageID() {
 	var vals [4]uint32
 	var valsSet uint8
 	lsmVals := [15]uint32{}
+	s.rdFile, s.rdByp = 0, 0
 	for _, sc := range srcs {
 		v, ok := s.readReg(sc.r, p8)
 		if !ok {
+			s.profStall(stIFID, obsv.StallRAW)
 			return // RAW stall
 		}
 		if sc.slot >= 0 {
@@ -257,6 +281,7 @@ func (s *Sim) stageID() {
 	}
 	for _, r := range dests {
 		if s.pending[r] > 0 {
+			s.profStall(stIFID, obsv.StallWriteback)
 			return // WAW stall
 		}
 	}
@@ -286,6 +311,18 @@ func (s *Sim) stageID() {
 	}
 	s.fq = nil
 	s.dx = d
+	s.profAdvance(stIFID)
+	if s.prof != nil {
+		// Operand reads tallied during the hazard scan count only once the
+		// issue commits, matching the RCPN models (reads happen in the
+		// fired action, not the guard).
+		s.prof.FileReads += uint64(s.rdFile)
+		s.prof.BypassServed += uint64(s.rdByp)
+	}
+	if s.tr != nil {
+		s.tr.Fire(s.Cycles, d.seq, stIFID, opIssue)
+		s.tr.Move(s.Cycles, d.seq, stIDEX, stIFID)
+	}
 }
 
 // mulCycles mirrors the early-terminating multiplier timing of the RCPN
@@ -336,4 +373,7 @@ func (s *Sim) stageIF() {
 		s.fetchHold = sl.seq
 	}
 	s.fq = sl
+	if s.tr != nil {
+		s.tr.Birth(s.Cycles, sl.seq, stIFID)
+	}
 }

@@ -55,7 +55,7 @@ func TestDurableRestartServesIdenticalBytes(t *testing.T) {
 
 	s2, hs2 := newTestServer(t, durableConfig(t, dir))
 	defer func() { hs2.Close(); s2.Drain(0) }()
-	if got := metric(t, hs2.URL, "jobs.recovered"); got != 1 {
+	if got := metric(t, hs2.URL, "rcpn_jobs_recovered_total"); got != 1 {
 		t.Fatalf("jobs.recovered = %v, want 1", got)
 	}
 	r2 := submit(t, hs2.URL, crcSpec)
@@ -66,7 +66,7 @@ func TestDurableRestartServesIdenticalBytes(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("recovered result differs:\n%s\n----\n%s", got, want)
 	}
-	if got := metric(t, hs2.URL, "cache.misses"); got != 0 {
+	if got := metric(t, hs2.URL, "rcpn_cache_misses_total"); got != 0 {
 		t.Fatalf("restart re-ran a finished job: misses = %v", got)
 	}
 }
@@ -114,10 +114,10 @@ func TestPanicResumeByteIdentical(t *testing.T) {
 			if !bytes.Equal(got, want) {
 				t.Fatalf("resumed result differs from uninterrupted run:\n%s\n----\n%s", got, want)
 			}
-			if got := metric(t, hs.URL, "jobs.retried"); got < 1 {
+			if got := metric(t, hs.URL, "rcpn_jobs_retried_total"); got < 1 {
 				t.Fatalf("jobs.retried = %v, want >= 1 (the panic must have retried)", got)
 			}
-			if got := metric(t, hs.URL, "jobs.resumed"); got < 1 {
+			if got := metric(t, hs.URL, "rcpn_jobs_resumed_total"); got < 1 {
 				t.Fatalf("jobs.resumed = %v, want >= 1 (the retry must resume, not restart)", got)
 			}
 			if len(inj.Fired()) == 0 {
@@ -172,7 +172,7 @@ func TestRestartResumesFromCheckpoint(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("post-restart result differs from uninterrupted run:\n%s\n----\n%s", got, want)
 	}
-	if got := metric(t, hs2.URL, "jobs.resumed"); got != 1 {
+	if got := metric(t, hs2.URL, "rcpn_jobs_resumed_total"); got != 1 {
 		t.Fatalf("jobs.resumed = %v, want 1 (recovery must resume, not restart)", got)
 	}
 }
@@ -227,10 +227,10 @@ func TestCorruptCheckpointRestartsFromScratch(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("result after corrupt-checkpoint recovery differs:\n%s\n----\n%s", got, want)
 	}
-	if got := metric(t, hs2.URL, "jobs.resumed"); got != 0 {
+	if got := metric(t, hs2.URL, "rcpn_jobs_resumed_total"); got != 0 {
 		t.Fatalf("jobs.resumed = %v, want 0 (corrupt checkpoint must not restore)", got)
 	}
-	if got := metric(t, hs2.URL, "durability.quarantined"); got < 1 {
+	if got := metric(t, hs2.URL, "rcpn_quarantined_checkpoints"); got < 1 {
 		t.Fatalf("durability.quarantined = %v, want >= 1", got)
 	}
 }
@@ -255,7 +255,7 @@ func TestPoisonAfterRepeatedPanics(t *testing.T) {
 	if !strings.Contains(string(body), "poisoned after 2 attempts") {
 		t.Fatalf("no poison diagnosis in result: %s", body)
 	}
-	if got := metric(t, hs1.URL, "jobs.poisoned"); got != 1 {
+	if got := metric(t, hs1.URL, "rcpn_jobs_poisoned_total"); got != 1 {
 		t.Fatalf("jobs.poisoned = %v, want 1", got)
 	}
 	// Poison is terminal, not transient: resubmitting serves the record.
@@ -337,7 +337,7 @@ func TestPendingJobSurvivesRestart(t *testing.T) {
 	s1.buildOverride = func(*JobSpec) (batch.Stepper, error) { return &endlessStepper{}, nil }
 	r := submit(t, hs1.URL, crcSpec)
 	deadline := time.Now().Add(5 * time.Second)
-	for metric(t, hs1.URL, "jobs.running") != 1 {
+	for metric(t, hs1.URL, `rcpn_jobs{state="running"}`) != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("job never started")
 		}
@@ -353,7 +353,7 @@ func TestPendingJobSurvivesRestart(t *testing.T) {
 	if !strings.Contains(string(body), `"done"`) {
 		t.Fatalf("recovered pending job did not finish: %s", body)
 	}
-	if got := metric(t, hs2.URL, "jobs.recovered"); got != 1 {
+	if got := metric(t, hs2.URL, "rcpn_jobs_recovered_total"); got != 1 {
 		t.Fatalf("jobs.recovered = %v, want 1", got)
 	}
 }
@@ -377,7 +377,7 @@ func TestSSESubscriberReleased(t *testing.T) {
 		resps = append(resps, resp)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for metric(t, hs.URL, "sse_subscribers") != clients {
+	for metric(t, hs.URL, "rcpn_sse_subscribers") != clients {
 		if time.Now().After(deadline) {
 			t.Fatalf("sse_subscribers never reached %d", clients)
 		}
@@ -387,10 +387,10 @@ func TestSSESubscriberReleased(t *testing.T) {
 		resp.Body.Close() // client disconnects mid-stream
 	}
 	deadline = time.Now().Add(5 * time.Second)
-	for metric(t, hs.URL, "sse_subscribers") != 0 {
+	for metric(t, hs.URL, "rcpn_sse_subscribers") != 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("sse_subscribers = %v after disconnect, want 0 (leak)",
-				metric(t, hs.URL, "sse_subscribers"))
+				metric(t, hs.URL, "rcpn_sse_subscribers"))
 		}
 		time.Sleep(time.Millisecond)
 	}

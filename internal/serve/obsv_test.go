@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rcpn/internal/faultinj"
+	"rcpn/internal/obsv"
+)
+
+// stallsOf extracts jobs[0].stalls from a terminal GET body.
+func stallsOf(t *testing.T, body []byte) *obsv.StallSnapshot {
+	t.Helper()
+	var v struct {
+		Result struct {
+			Jobs []struct {
+				Cycles   int64               `json:"cycles"`
+				Instret  uint64              `json:"instructions"`
+				Stalls   *obsv.StallSnapshot `json:"stalls"`
+				Panicked bool                `json:"panicked"`
+			} `json:"jobs"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("bad terminal body %s: %v", body, err)
+	}
+	if len(v.Result.Jobs) != 1 {
+		t.Fatalf("want 1 job in the report, got %d: %s", len(v.Result.Jobs), body)
+	}
+	return v.Result.Jobs[0].Stalls
+}
+
+// checkPartition asserts the slot-partition identity on a serialized
+// snapshot: per stage, occupied + sum(stalls) == cycles.
+func checkPartition(t *testing.T, snap *obsv.StallSnapshot) {
+	t.Helper()
+	if snap == nil {
+		t.Fatal("no stalls snapshot in the result")
+	}
+	if snap.Cycles == 0 || len(snap.Stages) == 0 {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+	for _, st := range snap.Stages {
+		slots := st.Occupied
+		for _, n := range st.Stalls {
+			slots += n
+		}
+		if slots != snap.Cycles {
+			t.Fatalf("stage %s: occupied %d + stalls = %d slots, want %d cycles",
+				st.Name, st.Occupied, slots, snap.Cycles)
+		}
+	}
+}
+
+// TestProfiledJobEmbedsStalls: profile:true jobs carry a per-stage stall
+// snapshot in the rcpn-batch/v1 result, the snapshot satisfies the slot
+// partition identity, and profiling does not perturb the simulated outcome
+// (same cycles and instructions as the unprofiled spec).
+func TestProfiledJobEmbedsStalls(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+
+	plain := submit(t, hs.URL, `{"simulator":"pipe5","kernel":"crc"}`)
+	profiled := submit(t, hs.URL, `{"simulator":"pipe5","kernel":"crc","profile":true}`)
+	if plain.ID == profiled.ID {
+		t.Fatal("profile:true must change the content address (the result bytes differ)")
+	}
+
+	var plainRes, profRes struct {
+		Jobs []struct {
+			Cycles  int64  `json:"cycles"`
+			Instret uint64 `json:"instructions"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(resultOf(t, waitState(t, hs.URL, plain.ID)), &plainRes); err != nil {
+		t.Fatal(err)
+	}
+	body := waitState(t, hs.URL, profiled.ID)
+	if err := json.Unmarshal(resultOf(t, body), &profRes); err != nil {
+		t.Fatal(err)
+	}
+	if plainRes.Jobs[0] != profRes.Jobs[0] {
+		t.Fatalf("profiling perturbed the run: %+v vs %+v", profRes.Jobs[0], plainRes.Jobs[0])
+	}
+
+	snap := stallsOf(t, body)
+	checkPartition(t, snap)
+	if snap.Cycles != uint64(profRes.Jobs[0].Cycles) {
+		t.Fatalf("snapshot cycles %d != job cycles %d", snap.Cycles, profRes.Jobs[0].Cycles)
+	}
+}
+
+// TestTraceEndpoint: trace_events > 0 jobs expose Chrome trace_event JSON
+// at /v1/jobs/{id}/trace; untraced and unknown jobs 404.
+func TestTraceEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+
+	r := submit(t, hs.URL, `{"simulator":"pipe5","kernel":"crc","trace_events":4096}`)
+	waitState(t, hs.URL, r.ID)
+	code, data := get(t, hs.URL+"/v1/jobs/"+r.ID+"/trace")
+	if code != 200 {
+		t.Fatalf("GET trace = %d: %s", code, data)
+	}
+	var tr struct {
+		Events []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    *int64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid trace_event JSON: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for i, e := range tr.Events {
+		if e.Phase == "" || e.TS == nil {
+			t.Fatalf("event %d lacks ph/ts: %+v", i, e)
+		}
+	}
+
+	plain := submit(t, hs.URL, `{"simulator":"pipe5","kernel":"crc"}`)
+	waitState(t, hs.URL, plain.ID)
+	if code, _ := get(t, hs.URL+"/v1/jobs/"+plain.ID+"/trace"); code != 404 {
+		t.Fatalf("untraced job trace = %d, want 404", code)
+	}
+	if code, _ := get(t, hs.URL+"/v1/jobs/deadbeef/trace"); code != 404 {
+		t.Fatalf("unknown job trace = %d, want 404", code)
+	}
+}
+
+// TestProfiledResumeByteIdentical: a profiled checkpointing job killed by
+// an injected panic and resumed must produce the same result bytes — the
+// stall profile included — as an uninterrupted run. This is what the
+// stall-snapshot framing inside persisted checkpoints buys: without it
+// the resumed profile would only cover cycles after the restore.
+func TestProfiledResumeByteIdentical(t *testing.T) {
+	spec := `{"simulator":"strongarm","kernel":"crc","profile":true,"checkpoint_interval":2000}`
+
+	clean, hsClean := newTestServer(t, Config{Workers: 1})
+	rc := submit(t, hsClean.URL, spec)
+	want := resultOf(t, waitState(t, hsClean.URL, rc.ID))
+	hsClean.Close()
+	clean.Drain(0)
+	if !strings.Contains(string(want), `"stalls"`) {
+		t.Fatalf("reference result carries no stall snapshot: %s", want)
+	}
+
+	inj := faultinj.New(faultinj.Rule{
+		Site: faultinj.SiteWorkerPanic, AtValue: 5000, Action: faultinj.ActPanic,
+		Msg: "injected crash at first boundary past 5000 retirements",
+	})
+	s, hs := newTestServer(t, Config{Workers: 1, Fault: inj, Logf: t.Logf})
+	defer func() { hs.Close(); s.Drain(0) }()
+	r := submit(t, hs.URL, spec)
+	if r.ID != rc.ID {
+		t.Fatalf("content address differs between servers: %s vs %s", r.ID, rc.ID)
+	}
+	got := resultOf(t, waitState(t, hs.URL, r.ID))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed profiled result differs from uninterrupted run:\n%s\n----\n%s", got, want)
+	}
+	if got := metric(t, hs.URL, "rcpn_jobs_resumed_total"); got < 1 {
+		t.Fatalf("rcpn_jobs_resumed_total = %v, want >= 1 (the retry must resume, not restart)", got)
+	}
+	if len(inj.Fired()) == 0 {
+		t.Fatal("fault never fired; the test exercised nothing")
+	}
+}
+
+// TestPanicSalvagesPartialProfile: a worker panic (injected at the
+// worker.panic site, every attempt, so the job poisons) must not lose the
+// observability already gathered — the terminal failure report still
+// embeds the stall snapshot and progress from the last completed chunk.
+func TestPanicSalvagesPartialProfile(t *testing.T) {
+	inj := faultinj.New(faultinj.Rule{
+		Site: faultinj.SiteWorkerPanic, AtValue: 5000, Times: -1,
+		Action: faultinj.ActPanic, Msg: "injected crash on every attempt",
+	})
+	_, hs := newTestServer(t, Config{
+		Workers: 1, MaxAttempts: 1, Fault: inj, Logf: t.Logf,
+	})
+
+	r := submit(t, hs.URL,
+		`{"simulator":"pipe5","kernel":"crc","profile":true,"checkpoint_interval":2000}`)
+	body := waitState(t, hs.URL, r.ID)
+	if !strings.Contains(string(body), `"state": "failed"`) && !strings.Contains(string(body), `"state":"failed"`) {
+		t.Fatalf("job should have poisoned after the injected panic: %s", body)
+	}
+
+	var v struct {
+		Result struct {
+			Jobs []struct {
+				Cycles   int64               `json:"cycles"`
+				Instret  uint64              `json:"instructions"`
+				Stalls   *obsv.StallSnapshot `json:"stalls"`
+				Panicked bool                `json:"panicked"`
+			} `json:"jobs"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("bad terminal body %s: %v", body, err)
+	}
+	j := v.Result.Jobs[0]
+	if !j.Panicked {
+		t.Fatalf("job not marked panicked: %+v", j)
+	}
+	if j.Instret == 0 || j.Cycles == 0 {
+		t.Fatalf("panic lost the partial progress: %+v", j)
+	}
+	if j.Stalls == nil {
+		t.Fatal("panic lost the partial stall profile")
+	}
+	checkPartition(t, j.Stalls)
+	if len(inj.Fired()) == 0 {
+		t.Fatal("fault never fired; the test exercised nothing")
+	}
+}

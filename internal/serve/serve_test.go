@@ -7,12 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"rcpn/internal/batch"
+	"rcpn/internal/obsv"
 )
 
 // newTestServer boots a Server behind httptest. Callers must Close the
@@ -99,26 +101,29 @@ func waitState(t *testing.T, url, id string) []byte {
 	}
 }
 
-func metric(t *testing.T, url, path string) float64 {
+// metric scrapes /v1/metrics — validating the whole page as Prometheus
+// text format 0.0.4 on every call — and returns the value of one series,
+// named either bare (`rcpn_cache_hits_total`) or with its label set
+// (`rcpn_jobs{state="running"}`).
+func metric(t *testing.T, url, series string) float64 {
 	t.Helper()
 	_, data := get(t, url+"/v1/metrics")
-	var m map[string]any
-	if err := json.Unmarshal(data, &m); err != nil {
-		t.Fatal(err)
+	if _, err := obsv.ValidateProm(data); err != nil {
+		t.Fatalf("metrics page is not valid Prometheus text format: %v", err)
 	}
-	var cur any = m
-	for _, k := range strings.Split(path, ".") {
-		obj, ok := cur.(map[string]any)
+	for _, line := range strings.Split(string(data), "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
 		if !ok {
-			t.Fatalf("metrics path %s: not an object at %s", path, k)
+			continue
 		}
-		cur = obj[k]
+		f, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s: unparsable value %q", series, rest)
+		}
+		return f
 	}
-	f, ok := cur.(float64)
-	if !ok {
-		t.Fatalf("metrics path %s: %v is not a number", path, cur)
-	}
-	return f
+	t.Fatalf("series %s not found on the metrics page", series)
+	return 0
 }
 
 const crcSpec = `{"simulator":"strongarm","kernel":"crc","scale":1}`
@@ -143,10 +148,10 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if !bytes.Equal(body1, body2) {
 		t.Fatalf("cached payload differs:\n%s\n----\n%s", body1, body2)
 	}
-	if got := metric(t, hs.URL, "cache.misses"); got != 1 {
+	if got := metric(t, hs.URL, "rcpn_cache_misses_total"); got != 1 {
 		t.Fatalf("cache.misses = %v, want 1", got)
 	}
-	if got := metric(t, hs.URL, "cache.hits"); got != 1 {
+	if got := metric(t, hs.URL, "rcpn_cache_hits_total"); got != 1 {
 		t.Fatalf("cache.hits = %v, want 1", got)
 	}
 
@@ -181,7 +186,7 @@ func TestCanonicalization(t *testing.T) {
 			t.Fatalf("variant %d hashed differently: %s vs %s", i, ids[i], ids[0])
 		}
 	}
-	if got := metric(t, hs.URL, "cache.misses"); got != 1 {
+	if got := metric(t, hs.URL, "rcpn_cache_misses_total"); got != 1 {
 		t.Fatalf("cache.misses = %v, want 1 (variants must collapse)", got)
 	}
 }
@@ -224,10 +229,10 @@ func TestSingleflightCollapse(t *testing.T) {
 			t.Fatalf("client %d got different bytes", i)
 		}
 	}
-	if got := metric(t, hs.URL, "cache.misses"); got != 1 {
+	if got := metric(t, hs.URL, "rcpn_cache_misses_total"); got != 1 {
 		t.Fatalf("cache.misses = %v, want 1 (submissions must collapse)", got)
 	}
-	if hits := metric(t, hs.URL, "cache.hits") + metric(t, hs.URL, "cache.coalesced"); hits != clients-1 {
+	if hits := metric(t, hs.URL, "rcpn_cache_hits_total") + metric(t, hs.URL, "rcpn_cache_coalesced_total"); hits != clients-1 {
 		t.Fatalf("hits+coalesced = %v, want %d", hits, clients-1)
 	}
 }
@@ -276,7 +281,7 @@ func TestBackpressure429(t *testing.T) {
 	r1 := submit(t, hs.URL, specN(1)) // claimed by the worker, blocks
 	// Wait for the worker to claim it so the queue is empty.
 	deadline := time.Now().Add(5 * time.Second)
-	for metric(t, hs.URL, "jobs.running") != 1 {
+	for metric(t, hs.URL, `rcpn_jobs{state="running"}`) != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("first job never started")
 		}
@@ -291,7 +296,7 @@ func TestBackpressure429(t *testing.T) {
 	if hdr.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	if got := metric(t, hs.URL, "rejected_queue_full"); got != 1 {
+	if got := metric(t, hs.URL, "rcpn_rejected_queue_full_total"); got != 1 {
 		t.Fatalf("rejected_queue_full = %v, want 1", got)
 	}
 
@@ -326,10 +331,10 @@ func TestInvalidSpecs(t *testing.T) {
 			t.Errorf("spec %q: code %d (%s), want 400", b, code, data)
 		}
 	}
-	if got := metric(t, hs.URL, "rejected_invalid"); got != float64(len(bad)) {
+	if got := metric(t, hs.URL, "rcpn_rejected_invalid_total"); got != float64(len(bad)) {
 		t.Fatalf("rejected_invalid = %v, want %d", got, len(bad))
 	}
-	if got := metric(t, hs.URL, "cache.misses"); got != 0 {
+	if got := metric(t, hs.URL, "rcpn_cache_misses_total"); got != 0 {
 		t.Fatalf("invalid specs reached the queue: misses = %v", got)
 	}
 }
@@ -404,7 +409,7 @@ func TestDrain(t *testing.T) {
 
 	r := submit(t, hs.URL, specN(1))
 	deadline := time.Now().Add(5 * time.Second)
-	for metric(t, hs.URL, "jobs.running") != 1 {
+	for metric(t, hs.URL, `rcpn_jobs{state="running"}`) != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("job never started")
 		}
@@ -470,7 +475,7 @@ func TestTransientFailureRetries(t *testing.T) {
 	s.buildOverride = func(*JobSpec) (batch.Stepper, error) { return &endlessStepper{}, nil }
 	r := submit(t, hs.URL, specN(1))
 	deadline := time.Now().Add(5 * time.Second)
-	for metric(t, hs.URL, "jobs.running") != 1 {
+	for metric(t, hs.URL, `rcpn_jobs{state="running"}`) != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("job never started")
 		}
@@ -523,13 +528,13 @@ func TestConcurrentMixedClients(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
-	if got := metric(t, hs.URL, "cache.misses"); got != float64(len(specs)) {
+	if got := metric(t, hs.URL, "rcpn_cache_misses_total"); got != float64(len(specs)) {
 		t.Fatalf("cache.misses = %v, want %d (one per distinct spec)", got, len(specs))
 	}
-	if got := metric(t, hs.URL, "jobs.failed"); got != 0 {
+	if got := metric(t, hs.URL, "rcpn_jobs_failed_total"); got != 0 {
 		t.Fatalf("jobs.failed = %v, want 0", got)
 	}
-	if got := metric(t, hs.URL, "jobs.done"); got != float64(len(specs)) {
+	if got := metric(t, hs.URL, "rcpn_jobs_done_total"); got != float64(len(specs)) {
 		t.Fatalf("jobs.done = %v, want %d", got, len(specs))
 	}
 }
@@ -544,7 +549,7 @@ func TestCacheEviction(t *testing.T) {
 		waitState(t, hs.URL, r.ID)
 		ids = append(ids, r.ID)
 	}
-	if got := metric(t, hs.URL, "cache.entries"); got != 2 {
+	if got := metric(t, hs.URL, "rcpn_cache_entries"); got != 2 {
 		t.Fatalf("cache.entries = %v, want 2", got)
 	}
 	if code, _ := get(t, hs.URL+"/v1/jobs/"+ids[0]); code != http.StatusNotFound {

@@ -17,6 +17,7 @@ import (
 	"rcpn/internal/batch"
 	"rcpn/internal/ckpt"
 	"rcpn/internal/faultinj"
+	"rcpn/internal/obsv"
 	"rcpn/internal/store"
 )
 
@@ -128,6 +129,12 @@ type job struct {
 	ckInstret uint64
 	ckCycles  int64
 	ckRaw     []byte
+	// stalls is the most recent chunk-boundary stall-profile snapshot of a
+	// profiled job; it is what a crashed attempt salvages into its report.
+	stalls *obsv.StallSnapshot
+	// trace is the rendered Chrome trace_event JSON, set when a traced job
+	// reaches a terminal state; served by GET /v1/jobs/{id}/trace.
+	trace []byte
 
 	done chan struct{} // closed on completion
 }
@@ -180,6 +187,10 @@ type Server struct {
 	poisoned  atomic.Int64
 	recovered atomic.Int64
 	sseActive atomic.Int64
+
+	// simRate distributes finished jobs' simulation rates (Mcycles/s of
+	// wall time); exposed as a histogram on /v1/metrics.
+	simRate *obsv.Histogram
 }
 
 // New builds and starts a server (its worker pool runs immediately). With
@@ -191,9 +202,10 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		jobs:  make(map[string]*job),
-		cache: newLRU(cfg.CacheEntries),
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		cache:   newLRU(cfg.CacheEntries),
+		simRate: obsv.NewHistogram(0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
 	}
 	s.logf = cfg.Logf
 	if s.logf == nil {
@@ -211,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	if cfg.DataDir != "" {
@@ -451,6 +464,14 @@ func (s *Server) enqueue(j *job) error {
 		Run: func(ctx context.Context) (batch.Metrics, error) {
 			return s.execute(ctx, j)
 		},
+		// A panicked attempt still reports everything measured up to its
+		// last completed chunk, including the partial stall profile.
+		Partial: func() batch.Metrics {
+			j.mu.Lock()
+			stalls := j.stalls
+			j.mu.Unlock()
+			return batch.Metrics{Cycles: j.cycles.Load(), Instret: j.instret.Load(), Stalls: stalls}
+		},
 	}, func(res batch.Result) { s.finish(j, res) })
 }
 
@@ -480,6 +501,17 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	if err != nil {
 		return batch.Metrics{}, err
 	}
+	var prof *obsv.StallProfile
+	var tr *obsv.Tracer
+	if ins, ok := st.(obsv.Instrumentable); ok {
+		if j.spec.Profile {
+			prof = ins.EnableProfile()
+		}
+		if j.spec.TraceEvents > 0 {
+			tr = obsv.NewTracer(j.spec.TraceEvents)
+			ins.AttachTrace(tr)
+		}
+	}
 	cap := j.spec.MaxCycles
 	if cap <= 0 {
 		cap = s.cfg.MaxCycles
@@ -487,11 +519,42 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	onProgress := func(c int64, i uint64) {
 		j.cycles.Store(c)
 		j.instret.Store(i)
+		if prof != nil {
+			// Chunk-boundary snapshot: what a crashed attempt salvages.
+			// Called on the job goroutine between chunks, so the profile is
+			// quiescent here.
+			snap := prof.Snapshot()
+			j.mu.Lock()
+			j.stalls = snap
+			j.mu.Unlock()
+		}
+	}
+	// finished packages the terminal measurements: the final stall snapshot
+	// rides in the metrics (and into the report), the rendered trace is kept
+	// on the job for GET /v1/jobs/{id}/trace.
+	finished := func(c int64, i uint64) batch.Metrics {
+		m := batch.Metrics{Cycles: c, Instret: i}
+		if prof != nil {
+			m.Stalls = prof.Snapshot()
+			j.mu.Lock()
+			j.stalls = m.Stalls
+			j.mu.Unlock()
+		}
+		if tr != nil {
+			var buf bytes.Buffer
+			if werr := tr.WriteChromeJSON(&buf); werr == nil {
+				j.mu.Lock()
+				j.trace = buf.Bytes()
+				j.mu.Unlock()
+			}
+		}
+		return m
 	}
 
 	if cs, ok := st.(batch.CheckpointStepper); ok && j.spec.CheckpointInterval > 0 {
 		driver := batch.CheckpointStepper(cs)
 		if raw, instret, cycles, found := s.loadCheckpoint(j); found {
+			snap, raw := obsv.SplitStalls(raw)
 			switch ck, cerr := ckpt.FromBytes(raw); {
 			case cerr != nil:
 				s.discardCheckpoint(j, fmt.Sprintf("checkpoint does not decode: %v", cerr))
@@ -499,6 +562,14 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 				if rerr := cs.Restore(ck); rerr != nil {
 					s.discardCheckpoint(j, fmt.Sprintf("checkpoint does not restore: %v", rerr))
 				} else {
+					if prof != nil {
+						if merr := prof.Merge(snap); merr != nil {
+							// The finished profile will only cover the resumed
+							// portion; the run itself is unaffected.
+							s.logf("serve: job %s checkpoint stall accounting unusable: %v",
+								shortID(j.id), merr)
+						}
+					}
 					driver = batch.Resumed(cs, cycles)
 					onProgress(cycles, instret)
 					s.resumes.Add(1)
@@ -508,16 +579,16 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 			}
 		}
 		err = batch.DriveCkpt(ctx, driver, cap, s.cfg.Chunk, j.spec.CheckpointInterval,
-			s.checkpointSink(j), onProgress)
+			s.checkpointSink(j, prof), onProgress)
 		c, i := driver.Progress()
 		onProgress(c, i)
-		return batch.Metrics{Cycles: c, Instret: i}, err
+		return finished(c, i), err
 	}
 
 	err = batch.Drive(ctx, st, cap, s.cfg.Chunk, onProgress)
 	c, i := st.Progress()
 	onProgress(c, i)
-	return batch.Metrics{Cycles: c, Instret: i}, err
+	return finished(c, i), err
 }
 
 // checkpointSink persists each periodic checkpoint: always to the job's
@@ -525,7 +596,7 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 // Persistence failures degrade the server rather than fail the job. The
 // worker.panic fault site fires first — before the checkpoint is saved —
 // so an injected crash loses the current boundary exactly like a real one.
-func (s *Server) checkpointSink(j *job) batch.CheckpointSink {
+func (s *Server) checkpointSink(j *job, prof *obsv.StallProfile) batch.CheckpointSink {
 	return func(instret uint64, cycles int64, ck *ckpt.Checkpoint) error {
 		if err := s.cfg.Fault.Hit(faultinj.SiteWorkerPanic, instret); err != nil {
 			return err
@@ -534,6 +605,13 @@ func (s *Server) checkpointSink(j *job) batch.CheckpointSink {
 		if err != nil {
 			s.logf("serve: job %s checkpoint did not encode (skipped): %v", shortID(j.id), err)
 			return nil
+		}
+		if prof != nil {
+			// The sink runs on the job goroutine at a drained boundary, so
+			// the profile is quiescent and describes exactly this boundary.
+			// Checkpointing the accounting along with the architected state
+			// is what keeps resumed profiled results byte-identical.
+			raw = obsv.WrapStalls(prof.Snapshot(), raw)
 		}
 		j.mu.Lock()
 		j.ckInstret, j.ckCycles, j.ckRaw = instret, cycles, raw
@@ -590,6 +668,9 @@ func (s *Server) finish(j *job, res batch.Result) {
 	j.endNano.Store(time.Now().UnixNano())
 	s.running.Add(-1)
 	s.cycles.Add(res.Cycles)
+	if wall := time.Duration(j.endNano.Load() - j.startNano.Load()); wall > 0 && res.Err == "" {
+		s.simRate.Observe(float64(res.Cycles) / 1e6 / wall.Seconds())
+	}
 
 	transient := res.TimedOut || res.Canceled || res.Panicked
 	if res.Err != "" && transient {
@@ -757,6 +838,28 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves the Chrome trace_event JSON of a traced job. The trace
+// is rendered once, at the end of the run, so it exists only for terminal
+// jobs whose spec set trace_events > 0. Load it at chrome://tracing or
+// https://ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	j.mu.Lock()
+	trace := j.trace
+	j.mu.Unlock()
+	if trace == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "no trace for this job (submit with trace_events > 0 and wait for completion)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(trace) //nolint:errcheck // client gone is the only failure
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -786,6 +889,10 @@ func (s *Server) durabilityStatus() string {
 	}
 }
 
+// handleMetrics serves the Prometheus text-format (0.0.4) metrics page, so
+// a stock Prometheus scrape of /v1/metrics works with no exporter in
+// between. Every sample is a point-in-time read of an atomic counter or
+// gauge; the page is not a consistent snapshot (and does not need to be).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	entries := s.cache.len()
@@ -795,37 +902,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		quarantined = int64(s.store.QuarantineCount())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"queue_depth":      s.pool.Depth(),
-		"queue_cap":        s.pool.Cap(),
-		"workers":          s.pool.Workers(),
-		"inflight_workers": s.inflight.Load(),
-		"jobs": map[string]int64{
-			"queued":    s.queued.Load(),
-			"running":   s.running.Load(),
-			"done":      s.doneCt.Load(),
-			"failed":    s.failedCt.Load(),
-			"retried":   s.retries.Load(),
-			"resumed":   s.resumes.Load(),
-			"poisoned":  s.poisoned.Load(),
-			"recovered": s.recovered.Load(),
-		},
-		"cache": map[string]int64{
-			"entries":   int64(entries),
-			"hits":      s.hits.Load(),
-			"misses":    s.misses.Load(),
-			"coalesced": s.coalesced.Load(),
-		},
-		"durability": map[string]any{
-			"status":      s.durabilityStatus(),
-			"quarantined": quarantined,
-		},
-		"sse_subscribers":     s.sseActive.Load(),
-		"rejected_queue_full": s.rejFull.Load(),
-		"rejected_invalid":    s.rejBad.Load(),
-		"cumulative_mcycles":  float64(s.cycles.Load()) / 1e6,
-		"draining":            draining,
+	b01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	w.Header().Set("Content-Type", obsv.ContentType)
+	m := obsv.NewMetricsWriter(w)
+	m.Gauge("rcpn_queue_depth", "Jobs admitted but not yet claimed by a worker.", float64(s.pool.Depth()), nil)
+	m.Gauge("rcpn_queue_cap", "Capacity of the admission queue.", float64(s.pool.Cap()), nil)
+	m.Gauge("rcpn_workers", "Size of the simulation worker pool.", float64(s.pool.Workers()), nil)
+	m.Gauge("rcpn_inflight_workers", "Workers currently executing a job body.", float64(s.inflight.Load()), nil)
+	m.MultiGauge("rcpn_jobs", "Jobs currently in a non-terminal state, by state.", []obsv.LabeledValue{
+		{Labels: map[string]string{"state": "queued"}, Value: float64(s.queued.Load())},
+		{Labels: map[string]string{"state": "running"}, Value: float64(s.running.Load())},
 	})
+	m.Counter("rcpn_jobs_done_total", "Jobs finished successfully.", float64(s.doneCt.Load()), nil)
+	m.Counter("rcpn_jobs_failed_total", "Jobs finished with a terminal failure.", float64(s.failedCt.Load()), nil)
+	m.Counter("rcpn_jobs_retried_total", "Transiently failed attempts re-queued for retry.", float64(s.retries.Load()), nil)
+	m.Counter("rcpn_jobs_resumed_total", "Attempts that restored a checkpoint instead of restarting.", float64(s.resumes.Load()), nil)
+	m.Counter("rcpn_jobs_poisoned_total", "Jobs whose transient failures exhausted max attempts.", float64(s.poisoned.Load()), nil)
+	m.Counter("rcpn_jobs_recovered_total", "Jobs adopted from the durable store at startup.", float64(s.recovered.Load()), nil)
+	m.Gauge("rcpn_cache_entries", "Entries in the content-addressed result cache.", float64(entries), nil)
+	m.Counter("rcpn_cache_hits_total", "Submissions answered from the result cache.", float64(s.hits.Load()), nil)
+	m.Counter("rcpn_cache_misses_total", "Submissions that enqueued a new job.", float64(s.misses.Load()), nil)
+	m.Counter("rcpn_cache_coalesced_total", "Submissions that joined an identical in-flight job.", float64(s.coalesced.Load()), nil)
+	m.MultiGauge("rcpn_durability_status", "Durability state (1 for the current status label).", []obsv.LabeledValue{
+		{Labels: map[string]string{"status": "off"}, Value: b01(s.durabilityStatus() == "off")},
+		{Labels: map[string]string{"status": "ok"}, Value: b01(s.durabilityStatus() == "ok")},
+		{Labels: map[string]string{"status": "degraded"}, Value: b01(s.durabilityStatus() == "degraded")},
+	})
+	m.Gauge("rcpn_quarantined_checkpoints", "Damaged durable artifacts set aside at recovery or restore.", float64(quarantined), nil)
+	m.Gauge("rcpn_sse_subscribers", "Open /v1/jobs/{id}/events streams.", float64(s.sseActive.Load()), nil)
+	m.Counter("rcpn_rejected_queue_full_total", "Submissions rejected with 429 because the queue was full.", float64(s.rejFull.Load()), nil)
+	m.Counter("rcpn_rejected_invalid_total", "Submissions rejected with 400 at validation.", float64(s.rejBad.Load()), nil)
+	m.Counter("rcpn_simulated_cycles_total", "Cumulative simulated cycles across all finished attempts.", float64(s.cycles.Load()), nil)
+	m.Gauge("rcpn_draining", "1 while the server is draining for shutdown.", b01(draining), nil)
+	m.HistogramMetric("rcpn_job_mcycles_per_sec", "Simulation rate of successfully finished jobs (simulated Mcycles per wall second).", s.simRate)
+	m.Close() //nolint:errcheck // client gone is the only failure
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

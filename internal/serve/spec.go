@@ -79,8 +79,17 @@ type JobSpec struct {
 	// the interval is part of the spec (and so of the content address): the
 	// result is a deterministic function of (spec, interval), not of whether
 	// a crash happened.
-	CheckpointInterval uint64    `json:"checkpoint_interval,omitempty"`
-	Config             SimConfig `json:"config"`
+	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
+	// Profile enables per-stage stall attribution: the result embeds the
+	// job's StallProfile snapshot under "stalls". Part of the spec (and of
+	// the content address) because the result bytes differ, even though the
+	// simulated outcome does not.
+	Profile bool `json:"profile,omitempty"`
+	// TraceEvents, when nonzero, attaches a bounded ring tracer of that
+	// many events; the Chrome trace_event JSON of the run's tail is served
+	// at GET /v1/jobs/{id}/trace.
+	TraceEvents int       `json:"trace_events,omitempty"`
+	Config      SimConfig `json:"config"`
 }
 
 // simulators is the accepted Simulator set, matching cmd/rcpnsim's -sim.
@@ -98,6 +107,11 @@ const maxScale = 64
 
 // minCheckpointInterval bounds how often a job may drain for a checkpoint.
 const minCheckpointInterval = 1000
+
+// maxTraceEvents bounds the per-job trace ring so one request cannot pin
+// arbitrary server memory (26 bytes of ring per event plus the rendered
+// JSON).
+const maxTraceEvents = 1 << 20
 
 // SpecError is a request defect: the submission is rejected with 400 and
 // this message, and nothing is enqueued.
@@ -156,6 +170,12 @@ func (s *JobSpec) Normalize() error {
 	if s.CheckpointInterval != 0 && s.CheckpointInterval < minCheckpointInterval {
 		return specErrf("checkpoint_interval %d below minimum %d (draining the pipeline that often would dominate the run)",
 			s.CheckpointInterval, minCheckpointInterval)
+	}
+	if s.TraceEvents < 0 {
+		return specErrf("trace_events must be >= 0")
+	}
+	if s.TraceEvents > maxTraceEvents {
+		return specErrf("trace_events %d exceeds maximum %d", s.TraceEvents, maxTraceEvents)
 	}
 	if (s.Simulator == "func" || s.Simulator == "iss") && !s.Config.isZero() {
 		return specErrf("simulator %q is functional and takes no cache/bpred config", s.Simulator)

@@ -19,6 +19,7 @@ import (
 	"rcpn/internal/ckpt"
 	"rcpn/internal/iss"
 	"rcpn/internal/machine"
+	"rcpn/internal/obsv"
 	"rcpn/internal/pipe5"
 	"rcpn/internal/ssim"
 )
@@ -35,6 +36,18 @@ var (
 	_ batch.CheckpointStepper = ssimStepper{}
 	_ batch.CheckpointStepper = pipe5Stepper{}
 	_ batch.CheckpointStepper = issStepper{}
+)
+
+// Every adapter also forwards obsv.Instrumentable to its simulator, so
+// callers holding a batch.Stepper (the batch driver, the simulation
+// service) can enable stall attribution and tracing with one type
+// assertion and no knowledge of the engine behind it.
+var (
+	_ obsv.Instrumentable = machineStepper{}
+	_ obsv.Instrumentable = functionalStepper{}
+	_ obsv.Instrumentable = ssimStepper{}
+	_ obsv.Instrumentable = pipe5Stepper{}
+	_ obsv.Instrumentable = issStepper{}
 )
 
 // Machine adapts a detailed (pipelined) RCPN machine. Use Functional for
@@ -73,6 +86,10 @@ func (s machineStepper) Checkpoint() (*ckpt.Checkpoint, error) { return s.m.Chec
 
 func (s machineStepper) Restore(ck *ckpt.Checkpoint) error { return s.m.Restore(ck) }
 
+func (s machineStepper) AttachTrace(tr *obsv.Tracer) { s.m.AttachTrace(tr) }
+
+func (s machineStepper) EnableProfile() *obsv.StallProfile { return s.m.EnableProfile() }
+
 // Functional adapts a functional RCPN machine (machine.NewFunctional);
 // limits are instruction counts and cycles report as zero.
 func Functional(m *machine.Machine) batch.Stepper { return functionalStepper{m} }
@@ -110,6 +127,10 @@ func (s functionalStepper) Checkpoint() (*ckpt.Checkpoint, error) { return s.m.C
 
 func (s functionalStepper) Restore(ck *ckpt.Checkpoint) error { return s.m.Restore(ck) }
 
+func (s functionalStepper) AttachTrace(tr *obsv.Tracer) { s.m.AttachTrace(tr) }
+
+func (s functionalStepper) EnableProfile() *obsv.StallProfile { return s.m.EnableProfile() }
+
 // SSim adapts the SimpleScalar-like out-of-order baseline.
 func SSim(s *ssim.Sim) batch.Stepper { return ssimStepper{s} }
 
@@ -142,6 +163,10 @@ func (a ssimStepper) DrainBoundary() error { return a.s.Drain(0) }
 func (a ssimStepper) Checkpoint() (*ckpt.Checkpoint, error) { return a.s.Checkpoint() }
 
 func (a ssimStepper) Restore(ck *ckpt.Checkpoint) error { return a.s.Restore(ck) }
+
+func (a ssimStepper) AttachTrace(tr *obsv.Tracer) { a.s.AttachTrace(tr) }
+
+func (a ssimStepper) EnableProfile() *obsv.StallProfile { return a.s.EnableProfile() }
 
 // Pipe5 adapts the hand-written five-stage pipeline.
 func Pipe5(s *pipe5.Sim) batch.Stepper { return pipe5Stepper{s} }
@@ -176,6 +201,10 @@ func (a pipe5Stepper) Checkpoint() (*ckpt.Checkpoint, error) { return a.s.Checkp
 
 func (a pipe5Stepper) Restore(ck *ckpt.Checkpoint) error { return a.s.Restore(ck) }
 
+func (a pipe5Stepper) AttachTrace(tr *obsv.Tracer) { a.s.AttachTrace(tr) }
+
+func (a pipe5Stepper) EnableProfile() *obsv.StallProfile { return a.s.EnableProfile() }
+
 // ISS adapts the functional golden-model interpreter; limits are
 // instruction counts and cycles report as zero. The CPU's own MaxInstrs
 // bound, if set, still applies and surfaces as an error.
@@ -209,3 +238,7 @@ func (s issStepper) DrainBoundary() error { return nil } // every boundary is dr
 func (s issStepper) Checkpoint() (*ckpt.Checkpoint, error) { return s.c.Checkpoint(), nil }
 
 func (s issStepper) Restore(ck *ckpt.Checkpoint) error { return s.c.Restore(ck) }
+
+func (s issStepper) AttachTrace(tr *obsv.Tracer) { s.c.AttachTrace(tr) }
+
+func (s issStepper) EnableProfile() *obsv.StallProfile { return s.c.EnableProfile() }

@@ -1,6 +1,9 @@
 package ssim
 
-import "rcpn/internal/arm"
+import (
+	"rcpn/internal/arm"
+	"rcpn/internal/obsv"
+)
 
 // ---- dispatch ------------------------------------------------------------
 
@@ -9,18 +12,27 @@ import "rcpn/internal/arm"
 // at dispatch), allocates the RUU record and links its dependences through
 // the create vector.
 func (s *Sim) dispatch() {
+	dispatched := 0
 	for n := 0; n < s.cfg.Width; n++ {
 		if s.spec.active {
 			// Down the wrong path: execute speculatively against the
 			// checkpointed state until the mispredicted branch resolves.
+			// Wrong-path work is not forward progress: the cycle is lost to
+			// the unresolved branch's guard.
 			s.dispatchSpec()
 			continue
 		}
-		if s.oracle.Exited || len(s.ruu) >= s.cfg.RUUSize || len(s.ifq) == 0 {
+		if s.oracle.Exited || len(s.ifq) == 0 {
+			s.profSlot(stDispatch, dispatched, obsv.StallEmpty)
+			return
+		}
+		if len(s.ruu) >= s.cfg.RUUSize {
+			s.profSlot(stDispatch, dispatched, obsv.StallCapacity)
 			return
 		}
 		slot := s.ifq[0]
 		if slot.readyAt > s.Cycles {
+			s.profSlot(stDispatch, dispatched, obsv.StallDelay)
 			return
 		}
 		pc := s.oracle.R[arm.PC]
@@ -85,6 +97,7 @@ func (s *Sim) dispatch() {
 		// Execute functionally (the oracle core).
 		if err := s.oracle.Step(); err != nil {
 			s.Err = err
+			s.profSlot(stDispatch, dispatched, obsv.StallGuard)
 			return
 		}
 		e.actualNext = s.oracle.R[arm.PC]
@@ -113,6 +126,16 @@ func (s *Sim) dispatch() {
 		}
 
 		s.ruu = append(s.ruu, e)
+		dispatched++
+		if s.tr != nil {
+			s.tr.Birth(s.Cycles, e.seq, 0)
+			s.tr.Fire(s.Cycles, e.seq, 0, opDispatch)
+		}
+	}
+	if s.spec.active {
+		s.profSlot(stDispatch, dispatched, obsv.StallGuard)
+	} else {
+		s.profSlot(stDispatch, dispatched, obsv.StallEmpty)
 	}
 }
 
@@ -242,8 +265,14 @@ func (s *Sim) fetch() {
 	// Fetch keeps running down the predicted path during misspeculation;
 	// it only pauses for the one-cycle redirect after recovery.
 	if s.oracle.Exited || s.Cycles < s.refetchAt || s.holdFetch {
+		if !s.oracle.Exited && s.Cycles < s.refetchAt {
+			s.profSlot(stFetch, 0, obsv.StallGuard) // recovery redirect
+		} else {
+			s.profSlot(stFetch, 0, obsv.StallEmpty)
+		}
 		return
 	}
+	fetched := 0
 	for n := 0; n < s.cfg.Width && len(s.ifq) < s.cfg.IFQSize; n++ {
 		addr := s.fetchPC
 		lat := int64(1)
@@ -264,5 +293,7 @@ func (s *Sim) fetch() {
 		}
 		s.ifq = append(s.ifq, fetchSlot{addr: addr, predNext: next, readyAt: s.Cycles + lat})
 		s.fetchPC = next
+		fetched++
 	}
+	s.profSlot(stFetch, fetched, obsv.StallCapacity) // zero fetches: IFQ full
 }

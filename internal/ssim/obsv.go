@@ -1,0 +1,65 @@
+package ssim
+
+import "rcpn/internal/obsv"
+
+// Observability for the SimpleScalar-style baseline. The profiled stages
+// are sim-outorder's main-loop phases (fetch, dispatch, issue, commit);
+// each phase accounts exactly one slot per cycle through profSlot, so the
+// Occupied + stalls == cycles partition holds by construction. Writeback
+// is event-driven (the completion queue) and has no per-cycle slot of its
+// own. Sim implements obsv.Instrumentable.
+
+const (
+	stFetch = iota
+	stDispatch
+	stIssue
+	stCommit
+)
+
+var stageNames = []string{"fetch", "dispatch", "issue", "commit"}
+
+// Trace operation indices (Tracer.Ops). All events happen to the RUU
+// record, so the single trace location is the RUU window itself.
+const (
+	opDispatch = iota
+	opIssue
+	opComplete
+	opCommit
+)
+
+var opNames = []string{"dispatch", "issue", "complete", "commit"}
+
+// AttachTrace routes RUU record lifecycles into tr. Must be called before
+// the first cycle.
+func (s *Sim) AttachTrace(tr *obsv.Tracer) {
+	tr.Locs = []string{"ruu"}
+	tr.Ops = append([]string(nil), opNames...)
+	s.tr = tr
+}
+
+// EnableProfile turns on per-cycle stall attribution over the main-loop
+// phases and returns the live profile. Must be called before the first
+// cycle; calling it again returns the same profile.
+func (s *Sim) EnableProfile() *obsv.StallProfile {
+	if s.prof == nil {
+		s.prof = obsv.NewStallProfile(stageNames...)
+	}
+	return s.prof
+}
+
+// Profile returns the attached stall profile, or nil.
+func (s *Sim) Profile() *obsv.StallProfile { return s.prof }
+
+// profSlot accounts the one slot phase st owns this cycle: forward
+// progress when the phase processed n >= 1 entries, otherwise a stall of
+// kind k.
+func (s *Sim) profSlot(st, n int, k obsv.StallKind) {
+	if s.prof == nil {
+		return
+	}
+	if n > 0 {
+		s.prof.Advance(st)
+	} else {
+		s.prof.Stall(st, k)
+	}
+}

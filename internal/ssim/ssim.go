@@ -35,6 +35,7 @@ import (
 	"rcpn/internal/bpred"
 	"rcpn/internal/iss"
 	"rcpn/internal/mem"
+	"rcpn/internal/obsv"
 )
 
 // Config selects the baseline's parameters.
@@ -143,6 +144,10 @@ type Sim struct {
 	inScratch  []int
 	outScratch []int
 	lsmScratch []uint32
+
+	// Observability attachments (obsv.go); nil unless enabled.
+	prof *obsv.StallProfile
+	tr   *obsv.Tracer
 }
 
 type fetchSlot struct {
@@ -277,15 +282,30 @@ func (s *Sim) cycle() {
 	s.fetch()
 	s.RUUOccSum += uint64(len(s.ruu))
 	s.IFQOccSum += uint64(len(s.ifq))
+	if s.prof != nil {
+		s.prof.EndCycle()
+	}
 	s.Cycles++
 }
 
 // ---- commit --------------------------------------------------------------
 
 func (s *Sim) commit() {
-	for n := 0; n < s.cfg.Width && len(s.ruu) > 0; n++ {
+	committed := 0
+	for ; committed < s.cfg.Width && len(s.ruu) > 0; committed++ {
 		head := s.ruu[0]
 		if !head.completed || head.spec {
+			// Not committable: wrong-path head waits for recovery (guard),
+			// an unissued head is still dependence-blocked (RAW), an issued
+			// one is mid-latency in a functional unit (delay).
+			switch {
+			case head.spec:
+				s.profSlot(stCommit, committed, obsv.StallGuard)
+			case !head.issued:
+				s.profSlot(stCommit, committed, obsv.StallRAW)
+			default:
+				s.profSlot(stCommit, committed, obsv.StallDelay)
+			}
 			return // speculative entries never commit; rollback removes them
 		}
 		// Field re-derivation at commit (as SimpleScalar's macros do).
@@ -298,10 +318,15 @@ func (s *Sim) commit() {
 		copy(s.ruu, s.ruu[1:])
 		s.ruu = s.ruu[:len(s.ruu)-1]
 		s.Instret++
+		if s.tr != nil {
+			s.tr.Fire(s.Cycles, head.seq, 0, opCommit)
+			s.tr.Retire(s.Cycles, head.seq, 0)
+		}
 		// head completed, so every producer already walked its consumer
 		// chain and head's own chain was cleared at writeback: recycle.
 		s.freeEntry(head)
 	}
+	s.profSlot(stCommit, committed, obsv.StallEmpty)
 }
 
 // ---- writeback -----------------------------------------------------------
@@ -320,6 +345,9 @@ func (s *Sim) writeback() {
 			continue
 		}
 		e.completed = true
+		if s.tr != nil {
+			s.tr.Fire(s.Cycles, e.seq, 0, opComplete)
+		}
 		// Walk the dependence chain, waking consumers.
 		for _, c := range e.consumers {
 			c.idepsLeft--
@@ -368,6 +396,7 @@ func (s *Sim) issue() {
 	issued := 0
 	for _, e := range s.ruu {
 		if issued >= s.cfg.Width {
+			s.profSlot(stIssue, issued, obsv.StallEmpty)
 			return
 		}
 		if e.issued {
@@ -376,6 +405,7 @@ func (s *Sim) issue() {
 		// In-order issue ("simplest parameters"): an unissued older entry
 		// blocks everything younger.
 		if e.idepsLeft > 0 {
+			s.profSlot(stIssue, issued, obsv.StallRAW)
 			return
 		}
 		ins := arm.Decode(e.raw, e.addr) // re-derive fields at issue
@@ -383,6 +413,7 @@ func (s *Sim) issue() {
 		switch {
 		case e.isLoad:
 			if s.memFree > s.Cycles {
+				s.profSlot(stIssue, issued, obsv.StallReservation)
 				return
 			}
 			// Search the load/store queue (the older RUU entries) for a
@@ -393,6 +424,7 @@ func (s *Sim) issue() {
 					break
 				}
 				if older.isStore && !older.completed && older.ea&^3 == e.ea&^3 {
+					s.profSlot(stIssue, issued, obsv.StallRAW)
 					return // stall until the store completes
 				}
 			}
@@ -401,6 +433,7 @@ func (s *Sim) issue() {
 			done = s.Cycles + lat
 		case e.isStore:
 			if s.memFree > s.Cycles {
+				s.profSlot(stIssue, issued, obsv.StallReservation)
 				return
 			}
 			lat := s.dmemLatency(e)
@@ -408,6 +441,7 @@ func (s *Sim) issue() {
 			done = s.Cycles + 1 // store retires via the write buffer
 		case ins.Class == arm.ClassMult:
 			if s.mulFree > s.Cycles {
+				s.profSlot(stIssue, issued, obsv.StallReservation)
 				return
 			}
 			lat := mulCycles(e.mulRs)
@@ -418,6 +452,7 @@ func (s *Sim) issue() {
 			done = s.Cycles + lat
 		default:
 			if s.aluFree > s.Cycles {
+				s.profSlot(stIssue, issued, obsv.StallReservation)
 				return
 			}
 			s.aluFree = s.Cycles + 1
@@ -427,7 +462,11 @@ func (s *Sim) issue() {
 		s.schedule(e, done)
 		issued++
 		s.IssuedSum++
+		if s.tr != nil {
+			s.tr.Fire(s.Cycles, e.seq, 0, opIssue)
+		}
 	}
+	s.profSlot(stIssue, issued, obsv.StallEmpty)
 }
 
 // dmemLatency charges the data TLB and data cache for a memory operation

@@ -47,6 +47,7 @@ import (
 
 	"rcpn/internal/ckpt"
 	"rcpn/internal/faultinj"
+	"rcpn/internal/obsv"
 )
 
 // Job states as recovered from the journal.
@@ -286,7 +287,10 @@ func parseCkptFile(data []byte) (instret uint64, cycles int64, payload []byte, e
 	if crc32.ChecksumIEEE(payload) != sum {
 		return 0, 0, nil, fmt.Errorf("payload CRC mismatch")
 	}
-	if _, err := ckpt.FromBytes(payload); err != nil {
+	// Profiled jobs frame a stall snapshot ahead of the engine bytes
+	// (obsv.WrapStalls); validate whichever part the RCPNCKPT codec owns.
+	_, engine := obsv.SplitStalls(payload)
+	if _, err := ckpt.FromBytes(engine); err != nil {
 		return 0, 0, nil, fmt.Errorf("payload does not decode: %v", err)
 	}
 	return instret, cycles, payload, nil
