@@ -21,6 +21,7 @@ import (
 	"rcpn/internal/arm"
 	"rcpn/internal/bpred"
 	"rcpn/internal/ckpt"
+	"rcpn/internal/diffrun"
 	"rcpn/internal/iss"
 	"rcpn/internal/machine"
 	"rcpn/internal/mem"
@@ -37,7 +38,7 @@ type csim struct {
 	instret  func() uint64
 	snapshot func() (*ckpt.Checkpoint, error)
 	restore  func(*ckpt.Checkpoint) error
-	state    func() archState
+	state    func() diffrun.State
 }
 
 // cycleSims returns a builder per simulator; each call builds a fresh
@@ -53,8 +54,8 @@ func cycleSims() map[string]func(p *arm.Program) *csim {
 				instret:  func() uint64 { return m.Instret },
 				snapshot: m.Checkpoint,
 				restore:  m.Restore,
-				state: func() archState {
-					return stateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
+				state: func() diffrun.State {
+					return diffrun.StateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
 				},
 			}
 		},
@@ -67,8 +68,8 @@ func cycleSims() map[string]func(p *arm.Program) *csim {
 				instret:  func() uint64 { return m.Instret },
 				snapshot: m.Checkpoint,
 				restore:  m.Restore,
-				state: func() archState {
-					return stateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
+				state: func() diffrun.State {
+					return diffrun.StateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
 				},
 			}
 		},
@@ -81,8 +82,8 @@ func cycleSims() map[string]func(p *arm.Program) *csim {
 				instret:  func() uint64 { return s.Instret },
 				snapshot: s.Checkpoint,
 				restore:  s.Restore,
-				state: func() archState {
-					return stateOf(func(r arm.Reg) uint32 { return s.R[r] },
+				state: func() diffrun.State {
+					return diffrun.StateOf(func(r arm.Reg) uint32 { return s.R[r] },
 						s.F, s.Mem, s.Instret, s.ExitCode, s.Output, s.Text)
 				},
 			}
@@ -96,8 +97,8 @@ func cycleSims() map[string]func(p *arm.Program) *csim {
 				instret:  func() uint64 { return s.Instret },
 				snapshot: s.Checkpoint,
 				restore:  s.Restore,
-				state: func() archState {
-					return stateOf(s.Reg, s.Flags(), s.Mem(), s.Instret, s.ExitCode(), s.Output(), s.Text())
+				state: func() diffrun.State {
+					return diffrun.StateOf(s.Reg, s.Flags(), s.Mem(), s.Instret, s.ExitCode(), s.Output(), s.Text())
 				},
 			}
 		},
@@ -156,7 +157,7 @@ func TestBitExactResume(t *testing.T) {
 				if got := resumed.instret() - boundaryInstret; got != afterInstret {
 					t.Errorf("post-handoff instret %d, donor %d", got, afterInstret)
 				}
-				resumed.state().diff(t, name+"(resumed)", donor.state())
+				diffState(t, name+"(resumed)", resumed.state(), donor.state())
 			})
 		}
 	}
@@ -174,7 +175,7 @@ func TestISSHandoff(t *testing.T) {
 	if err := golden.Run(); err != nil {
 		t.Fatal(err)
 	}
-	ref := stateOf(func(r arm.Reg) uint32 { return golden.R[r] },
+	ref := diffrun.StateOf(func(r arm.Reg) uint32 { return golden.R[r] },
 		golden.F, golden.Mem, golden.Instret, golden.Exit, golden.Output, golden.Text)
 
 	warms := map[string]func(c *iss.CPU){
@@ -213,7 +214,7 @@ func TestISSHandoff(t *testing.T) {
 			if err := s.run(); err != nil {
 				t.Fatal(err)
 			}
-			s.state().diff(t, name, ref)
+			diffState(t, name, s.state(), ref)
 		})
 	}
 }

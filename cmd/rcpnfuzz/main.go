@@ -1,0 +1,254 @@
+// Command rcpnfuzz is the differential fuzzer: it generates seeded random
+// ARM programs (internal/armgen), runs each on the ISS golden model and on
+// every registered cycle engine — plain and through a checkpoint/restore
+// handoff (internal/diffrun) — and reports any divergence. With -minimize,
+// a diverging program is delta-debugged down to a minimal repro and written
+// as a regression kernel under -out, in the format the conformance matrix
+// auto-discovers (testdata/regressions/).
+//
+//	rcpnfuzz -seeds 1..500              # sweep a seed range, exit 1 on divergence
+//	rcpnfuzz -seeds 1..0 -budget 30s    # open-ended sweep under a time budget
+//	rcpnfuzz -seeds 7..7 -emit          # print the generated program for a seed
+//	rcpnfuzz -seeds 1..500 -minimize -out testdata/regressions
+//
+// Output is deterministic for a fixed seed range: results are printed in
+// seed order regardless of -j, and reports contain no wall-clock fields.
+// Only the set of seeds reached under -budget is host-dependent — the
+// "swept seeds N..M" trailer states exactly which ran.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rcpn/internal/armgen"
+	"rcpn/internal/diffrun"
+)
+
+func main() {
+	seedsFlag := flag.String("seeds", "1..100", "inclusive seed range A..B (B < A with -budget = open-ended)")
+	jobs := flag.Int("j", 4, "concurrent seeds")
+	budget := flag.Duration("budget", 0, "stop starting new seeds after this long (0 = none)")
+	length := flag.Int("len", 0, "body chunks per program (0 = generator default)")
+	condPct := flag.Int("cond", 0, "percent of single-instruction chunks conditionalized (0 = default)")
+	weightsFlag := flag.String("weights", "", "weight overrides, e.g. mul=20,block=0 (see -weights help)")
+	minimize := flag.Bool("minimize", false, "delta-debug each divergence to a minimal repro")
+	out := flag.String("out", "", "directory for minimized regression kernels (with -minimize)")
+	emit := flag.Bool("emit", false, "print each generated program instead of running it")
+	quiet := flag.Bool("q", false, "suppress per-seed ok lines")
+	flag.Parse()
+
+	first, last, openEnded, err := parseSeeds(*seedsFlag, *budget)
+	if err != nil {
+		die(err)
+	}
+	weights, err := parseWeights(*weightsFlag)
+	if err != nil {
+		die(err)
+	}
+	mkConfig := func(seed uint64) armgen.Config {
+		return armgen.Config{Seed: seed, Len: *length, Weights: weights, CondPct: *condPct}
+	}
+
+	if *emit {
+		for seed := first; seed <= last; seed++ {
+			p, err := armgen.Generate(mkConfig(seed))
+			if err != nil {
+				die(fmt.Errorf("seed %d: %w", seed, err))
+			}
+			fmt.Printf("; seed %d (%d instruction words)\n%s", seed, len(p.Image.Words()), p.Source)
+		}
+		return
+	}
+
+	var (
+		mu       sync.Mutex
+		results  = map[uint64]outcome{}
+		next     = first
+		deadline time.Time
+		swept    []uint64
+	)
+	if *budget > 0 {
+		deadline = time.Now().Add(*budget)
+	}
+	claim := func() (uint64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !openEnded && next > last {
+			return 0, false
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return 0, false
+		}
+		s := next
+		next++
+		swept = append(swept, s)
+		return s, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < max(1, *jobs); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed, ok := claim()
+				if !ok {
+					return
+				}
+				o := runSeed(seed, mkConfig(seed), *minimize, *out)
+				mu.Lock()
+				results[seed] = o
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(swept, func(i, j int) bool { return swept[i] < swept[j] })
+	divergences := 0
+	for _, seed := range swept {
+		o := results[seed]
+		switch {
+		case o.err != nil:
+			fmt.Printf("seed %d: ERROR: %v\n", seed, o.err)
+			divergences++
+		case o.report != "":
+			fmt.Printf("seed %d: %s", seed, o.report)
+			divergences++
+		case !*quiet:
+			fmt.Printf("seed %d: ok\n", seed)
+		}
+	}
+	if len(swept) == 0 {
+		fmt.Println("swept no seeds")
+	} else {
+		fmt.Printf("swept %d seeds (%d..%d): %d divergence(s)\n",
+			len(swept), swept[0], swept[len(swept)-1], divergences)
+	}
+	if divergences > 0 {
+		os.Exit(1)
+	}
+}
+
+// outcome is one seed's result: a non-empty report or an error marks a
+// divergence.
+type outcome struct {
+	report string // deterministic divergence report; empty when clean
+	err    error
+}
+
+// runSeed generates, runs, and (optionally) minimizes one seed.
+func runSeed(seed uint64, cfg armgen.Config, minimize bool, out string) (o outcome) {
+	p, err := armgen.Generate(cfg)
+	if err != nil {
+		o.err = fmt.Errorf("generate: %w", err)
+		return o
+	}
+	res, err := diffrun.Run(p.Image, diffrun.Options{})
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if res.Clean() {
+		return o
+	}
+	var b strings.Builder
+	b.WriteString(res.Report())
+	if minimize {
+		m, err := diffrun.Minimize(p.Chunks, diffrun.CheckEngines(diffrun.Options{}))
+		if err != nil {
+			fmt.Fprintf(&b, "  minimize failed: %v\n", err)
+		} else {
+			fmt.Fprintf(&b, "  minimized to %d instructions in %d steps\n", m.Instructions(), m.Steps)
+			if out != "" {
+				name := fmt.Sprintf("seed-%d", seed)
+				path, err := diffrun.WriteRegression(out, name, cfg, m)
+				if err != nil {
+					fmt.Fprintf(&b, "  write regression: %v\n", err)
+				} else {
+					fmt.Fprintf(&b, "  regression kernel written to %s\n", path)
+				}
+			} else {
+				b.WriteString("  minimized repro (pass -out to save):\n")
+				for _, l := range strings.Split(strings.TrimRight(m.Source, "\n"), "\n") {
+					fmt.Fprintf(&b, "    %s\n", l)
+				}
+			}
+		}
+	}
+	o.report = b.String()
+	return o
+}
+
+// parseSeeds parses "A..B" (inclusive) or a single "N". B < A is an
+// open-ended sweep, valid only under a time budget.
+func parseSeeds(s string, budget time.Duration) (first, last uint64, openEnded bool, err error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		hi = lo
+	}
+	if first, err = strconv.ParseUint(strings.TrimSpace(lo), 10, 64); err != nil {
+		return 0, 0, false, fmt.Errorf("bad seed range %q: %w", s, err)
+	}
+	if last, err = strconv.ParseUint(strings.TrimSpace(hi), 10, 64); err != nil {
+		return 0, 0, false, fmt.Errorf("bad seed range %q: %w", s, err)
+	}
+	if last < first {
+		if budget <= 0 {
+			return 0, 0, false, fmt.Errorf("open-ended seed range %q needs -budget", s)
+		}
+		return first, 0, true, nil
+	}
+	return first, last, false, nil
+}
+
+// parseWeights applies "name=value" overrides to the default weight mix.
+// Names are the lower-cased Weights field names.
+func parseWeights(s string) (armgen.Weights, error) {
+	w := armgen.DefaultWeights()
+	if s == "" {
+		return w, nil
+	}
+	fields := map[string]*int{
+		"dataimm":      &w.DataImm,
+		"datareg":      &w.DataReg,
+		"datashiftimm": &w.DataShiftImm,
+		"datashiftreg": &w.DataShiftReg,
+		"mul":          &w.Mul,
+		"mullong":      &w.MulLong,
+		"loadstore":    &w.LoadStore,
+		"halfsigned":   &w.HalfSigned,
+		"block":        &w.Block,
+		"const":        &w.Const,
+		"condskip":     &w.CondSkip,
+		"loop":         &w.Loop,
+	}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return w, fmt.Errorf("bad weight %q (want name=value)", kv)
+		}
+		p, ok := fields[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return w, fmt.Errorf("unknown weight class %q", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad weight value %q for %s", val, name)
+		}
+		*p = n
+	}
+	return w, nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "rcpnfuzz:", err)
+	os.Exit(2)
+}

@@ -13,149 +13,20 @@ package rcpn
 // entire data memory, the retired-instruction count, and both emitted
 // output streams.
 //
-// This replaces the earlier per-pair differential tests with a single
-// registry, so adding an engine (or a kernel) extends the whole matrix at
-// once, and a conformance failure names its exact (kernel, engine) cell.
+// The engine registry, the state comparator and the two run variants live
+// in internal/diffrun and are shared with the generative fuzzer
+// (cmd/rcpnfuzz): a divergence the fuzzer minimizes into
+// testdata/regressions/ is auto-discovered here and replayed as a matrix
+// cell forever after.
 
 import (
 	"testing"
 
 	"rcpn/internal/arm"
-	"rcpn/internal/batch"
+	"rcpn/internal/diffrun"
 	"rcpn/internal/iss"
-	"rcpn/internal/machine"
-	"rcpn/internal/mem"
-	"rcpn/internal/pipe5"
-	"rcpn/internal/simrun"
-	"rcpn/internal/ssim"
 	"rcpn/internal/workload"
 )
-
-// archState is the comparable end-of-run architectural state.
-type archState struct {
-	regs    [15]uint32 // r0..r14 (r15 representations differ by simulator)
-	flags   arm.Flags
-	memHash uint64
-	instret uint64
-	exit    uint32
-	output  []uint32
-	text    string
-}
-
-func (a archState) diff(t *testing.T, name string, golden archState) {
-	t.Helper()
-	for r, v := range a.regs {
-		if v != golden.regs[r] {
-			t.Errorf("%s: r%d = %#x, iss %#x", name, r, v, golden.regs[r])
-		}
-	}
-	if a.flags != golden.flags {
-		t.Errorf("%s: flags %+v, iss %+v", name, a.flags, golden.flags)
-	}
-	if a.memHash != golden.memHash {
-		t.Errorf("%s: memory digest %#x, iss %#x", name, a.memHash, golden.memHash)
-	}
-	if a.instret != golden.instret {
-		t.Errorf("%s: instret %d, iss %d", name, a.instret, golden.instret)
-	}
-	if a.exit != golden.exit {
-		t.Errorf("%s: exit %d, iss %d", name, a.exit, golden.exit)
-	}
-	if len(a.output) != len(golden.output) {
-		t.Errorf("%s: %d output words, iss %d", name, len(a.output), len(golden.output))
-	} else {
-		for i := range a.output {
-			if a.output[i] != golden.output[i] {
-				t.Errorf("%s: output[%d] = %#x, iss %#x", name, i, a.output[i], golden.output[i])
-			}
-		}
-	}
-	if a.text != golden.text {
-		t.Errorf("%s: text stream differs (%d bytes vs %d)", name, len(a.text), len(golden.text))
-	}
-}
-
-func stateOf(reg func(arm.Reg) uint32, flags arm.Flags, m *mem.Memory,
-	instret uint64, exit uint32, output []uint32, text []byte) archState {
-	s := archState{
-		flags:   flags,
-		memHash: m.Digest(),
-		instret: instret,
-		exit:    exit,
-		output:  output,
-		text:    string(text),
-	}
-	for r := 0; r < 15; r++ {
-		s.regs[r] = reg(arm.Reg(r))
-	}
-	return s
-}
-
-// conformanceEngine is one row of the matrix: build constructs a fresh
-// instance on a program and returns its checkpointable stepper plus a
-// closure that extracts the instance's final architectural state.
-type conformanceEngine struct {
-	name  string
-	build func(p *arm.Program) (batch.CheckpointStepper, func() archState, error)
-}
-
-func machineEngine(name string, mk func(p *arm.Program) (*machine.Machine, error)) conformanceEngine {
-	return conformanceEngine{name: name, build: func(p *arm.Program) (batch.CheckpointStepper, func() archState, error) {
-		m, err := mk(p)
-		if err != nil {
-			return nil, nil, err
-		}
-		st := simrun.Machine(m).(batch.CheckpointStepper)
-		return st, func() archState {
-			return stateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
-		}, nil
-	}}
-}
-
-func conformanceEngines() []conformanceEngine {
-	engines := []conformanceEngine{
-		{name: "iss", build: func(p *arm.Program) (batch.CheckpointStepper, func() archState, error) {
-			c := iss.New(p, 0)
-			st := simrun.ISS(c).(batch.CheckpointStepper)
-			return st, func() archState {
-				return stateOf(func(r arm.Reg) uint32 { return c.R[r] },
-					c.F, c.Mem, c.Instret, c.Exit, c.Output, c.Text)
-			}, nil
-		}},
-		{name: "func", build: func(p *arm.Program) (batch.CheckpointStepper, func() archState, error) {
-			m := machine.NewFunctional(p, machine.Config{})
-			st := simrun.Functional(m).(batch.CheckpointStepper)
-			return st, func() archState {
-				return stateOf(m.Reg, m.Flags(), m.Mem, m.Instret, m.ExitCode, m.Output, m.Text)
-			}, nil
-		}},
-		machineEngine("strongarm", func(p *arm.Program) (*machine.Machine, error) {
-			return machine.NewStrongARM(p, machine.Config{}), nil
-		}),
-		machineEngine("xscale", func(p *arm.Program) (*machine.Machine, error) {
-			return machine.NewXScale(p, machine.Config{}), nil
-		}),
-		machineEngine("arm9", func(p *arm.Program) (*machine.Machine, error) {
-			return machine.NewARM9(p, machine.Config{})
-		}),
-		{name: "pipe5", build: func(p *arm.Program) (batch.CheckpointStepper, func() archState, error) {
-			s := pipe5.New(p, pipe5.Config{})
-			st := simrun.Pipe5(s).(batch.CheckpointStepper)
-			return st, func() archState {
-				return stateOf(func(r arm.Reg) uint32 { return s.R[r] },
-					s.F, s.Mem, s.Instret, s.ExitCode, s.Output, s.Text)
-			}, nil
-		}},
-		{name: "ssim", build: func(p *arm.Program) (batch.CheckpointStepper, func() archState, error) {
-			s := ssim.New(p, ssim.Config{})
-			st := simrun.SSim(s).(batch.CheckpointStepper)
-			return st, func() archState {
-				return stateOf(s.Reg, s.Flags(), s.Mem(), s.Instret, s.ExitCode(), s.Output(), s.Text())
-			}, nil
-		}},
-	}
-	return engines
-}
 
 // noLimit is a position limit no kernel reaches.
 const noLimit = int64(1) << 60
@@ -164,73 +35,54 @@ const noLimit = int64(1) << 60
 // well before any kernel finishes.
 const ckptBoundary = 5000
 
-// runPlain runs a fresh instance to completion.
-func runPlain(e conformanceEngine, p *arm.Program) (archState, error) {
-	st, state, err := e.build(p)
-	if err != nil {
-		return archState{}, err
+// diffState reports every field where got differs from the golden state as
+// a named test error.
+func diffState(t *testing.T, name string, got, golden diffrun.State) {
+	t.Helper()
+	for _, line := range got.Diff(golden) {
+		t.Errorf("%s: %s", name, line)
 	}
-	done, err := st.StepTo(noLimit)
-	if err != nil {
-		return archState{}, err
-	}
-	if !done {
-		return archState{}, errNotFinished
-	}
-	return state(), nil
 }
 
-// runCheckpointed runs to a drained boundary, snapshots, restores into a
-// completely fresh instance, and finishes there — the cross-instance
-// handoff every engine's checkpoint support must survive.
-func runCheckpointed(e conformanceEngine, p *arm.Program) (archState, error) {
-	st, state, err := e.build(p)
-	if err != nil {
-		return archState{}, err
+// goldenState runs the ISS to completion and captures the reference state.
+func goldenState(t *testing.T, p *arm.Program) diffrun.State {
+	t.Helper()
+	golden := iss.New(p, 0)
+	golden.MaxInstrs = 200_000_000
+	if err := golden.Run(); err != nil {
+		t.Fatalf("iss: %v", err)
 	}
-	done, err := st.StepToRetired(ckptBoundary, noLimit)
-	if err != nil {
-		return archState{}, err
-	}
-	if done {
-		// Kernel shorter than the boundary: nothing to hand off.
-		return state(), nil
-	}
-	if err := st.DrainBoundary(); err != nil {
-		return archState{}, err
-	}
-	ck, err := st.Checkpoint()
-	if err != nil {
-		return archState{}, err
-	}
-	st2, state2, err := e.build(p)
-	if err != nil {
-		return archState{}, err
-	}
-	if err := st2.Restore(ck); err != nil {
-		return archState{}, err
-	}
-	done, err = st2.StepTo(noLimit)
-	if err != nil {
-		return archState{}, err
-	}
-	if !done {
-		return archState{}, errNotFinished
-	}
-	return state2(), nil
+	return diffrun.StateOf(func(r arm.Reg) uint32 { return golden.R[r] },
+		golden.F, golden.Mem, golden.Instret, golden.Exit, golden.Output, golden.Text)
 }
 
-type conformanceErr string
-
-func (e conformanceErr) Error() string { return string(e) }
-
-const errNotFinished = conformanceErr("run hit the position limit without exiting")
+// matrixRun runs every engine — plain and checkpointed — against the golden
+// state for one program.
+func matrixRun(t *testing.T, p *arm.Program) {
+	ref := goldenState(t, p)
+	for _, e := range diffrun.Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			got, err := diffrun.RunPlain(e, p, noLimit)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			diffState(t, e.Name, got, ref)
+		})
+		t.Run(e.Name+"+ckpt", func(t *testing.T) {
+			got, err := diffrun.RunCheckpointed(e, p, ckptBoundary, noLimit)
+			if err != nil {
+				t.Fatalf("%s+ckpt: %v", e.Name, err)
+			}
+			diffState(t, e.Name+"+ckpt", got, ref)
+		})
+	}
+}
 
 // TestConformanceMatrix is the kernel × engine matrix: every engine — and
 // its checkpointed variant — must end every kernel in the ISS-golden
 // architectural state.
 func TestConformanceMatrix(t *testing.T) {
-	engines := conformanceEngines()
 	for _, w := range workload.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -238,31 +90,28 @@ func TestConformanceMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			golden := iss.New(p, 0)
-			golden.MaxInstrs = 200_000_000
-			if err := golden.Run(); err != nil {
-				t.Fatalf("iss: %v", err)
-			}
-			ref := stateOf(func(r arm.Reg) uint32 { return golden.R[r] },
-				golden.F, golden.Mem, golden.Instret, golden.Exit, golden.Output, golden.Text)
+			matrixRun(t, p)
+		})
+	}
+}
 
-			for _, e := range engines {
-				e := e
-				t.Run(e.name, func(t *testing.T) {
-					got, err := runPlain(e, p)
-					if err != nil {
-						t.Fatalf("%s: %v", e.name, err)
-					}
-					got.diff(t, e.name, ref)
-				})
-				t.Run(e.name+"+ckpt", func(t *testing.T) {
-					got, err := runCheckpointed(e, p)
-					if err != nil {
-						t.Fatalf("%s+ckpt: %v", e.name, err)
-					}
-					got.diff(t, e.name+"+ckpt", ref)
-				})
+// TestRegressionKernels replays every minimized repro committed under
+// testdata/regressions/ through the full matrix. Each file is a program the
+// fuzzer once caught an engine diverging on; the matrix keeps them honest
+// forever after. An empty (or missing) directory passes vacuously.
+func TestRegressionKernels(t *testing.T) {
+	ws, err := workload.LoadRegressions("testdata/regressions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
 			}
+			matrixRun(t, p)
 		})
 	}
 }

@@ -108,6 +108,18 @@ func FuzzEncodeDecode(f *testing.F) {
 		0x0afffffe, // BEQ backwards
 		0xef000011, // SWI 0x11
 		0xe1a00000, // NOP (MOV r0, r0)
+		// Corner registers on the long-multiply split result: RdLo/RdHi at
+		// the top of the file, and the RdHi/RdLo vs Rm/Rs field overlap.
+		0xe08ce399, // UMULL r14, r12, r9, r3
+		0xe0feda9b, // SMLALS r13, r14, r11, r10
+		// Signed/halfword transfers with split-immediate negative offsets
+		// (imm encoded in two nibbles around the SH field).
+		0xe1542ff3, // LDRSH r2, [r4, #-243]
+		0xe1742ff3, // LDRSH r2, [r4, #-243]!
+		// Base register inside the LDM/STM register list with writeback —
+		// the architecturally murky corner every engine must agree on.
+		0xe9240214, // STMDB r4!, {r2, r4, r9}
+		0xe8b10023, // LDMIA r1!, {r0, r1, r5}
 	}
 	for _, s := range seeds {
 		f.Add(s, uint32(0x8000))

@@ -1,0 +1,581 @@
+// Package armgen is a seeded random ARM program generator: the workload
+// family behind the generative differential coverage of DESIGN.md §11. The
+// paper validates generated simulators against the ISS on six hand-written
+// kernels; armgen turns that fixed instruction mix into an unbounded one by
+// producing, from a 64-bit seed, a well-formed self-terminating ARM7 program
+// with tunable instruction-class weights.
+//
+// Determinism contract: the same (Seed, Len, Weights, CondPct) produce a
+// byte-identical assembly source, hence a byte-identical binary image, on
+// every run, machine and Go version. The generator uses its own splitmix64
+// PRNG (no math/rand, no map iteration) and fixed formatting, so the seed
+// fully determines the program.
+//
+// Well-formedness invariants, which hold for the generated program and for
+// every program obtained by deleting any subset of its chunks (the property
+// the delta-debugging minimizer relies on):
+//
+//   - Termination: loops are counted on a reserved register (r11) with a
+//     constant bound, and conditional branches only jump forward within
+//     their own chunk, so every program exits through the SWI 0 stub in a
+//     bounded number of instructions.
+//   - Memory confinement: every load/store base is an address register (r8,
+//     r9) that is re-clamped into the scratch window after any writeback,
+//     and offsets are bounded immediates or masked registers, so data
+//     accesses stay inside [ScratchBase-0x1000, ScratchBase+0x2000) — far
+//     from the program text, the literal-free image, and the stack. Even
+//     with every init chunk deleted (bases = 0) no store can reach the text
+//     segment at 0x8000.
+//   - No SWI except the exit stub, no PC-writing instructions, no LDM/STM
+//     with the base register in the transfer list.
+package armgen
+
+import (
+	"fmt"
+	"strings"
+
+	"rcpn/internal/arm"
+)
+
+// ScratchBase is the bottom of the guarded scratch window all generated
+// memory traffic is confined to. 0x00100000 is an encodable rotated
+// immediate, so address setup needs no literal pool.
+const ScratchBase = 0x00100000
+
+// Register roles. Data registers are freely read and written; address
+// registers always hold clamped scratch-window addresses at chunk
+// boundaries; r11 is the loop counter; r12 the clamp/offset temporary.
+// sp, lr and pc are never touched.
+const (
+	numDataRegs = 8  // r0..r7
+	addrRegA    = 8  // r8
+	addrRegB    = 9  // r9
+	loopReg     = 11 // r11
+	tmpReg      = 12 // r12
+)
+
+// Weights are the relative instruction-class weights of the generator. A
+// zero weight disables the class; the zero value of the struct is replaced
+// by DefaultWeights.
+type Weights struct {
+	DataImm      int // data-processing, rotated-immediate operand
+	DataReg      int // data-processing, plain register operand
+	DataShiftImm int // data-processing, register shifted by immediate (incl. RRX)
+	DataShiftReg int // data-processing, register shifted by register
+	Mul          int // MUL / MLA
+	MulLong      int // UMULL / UMLAL / SMULL / SMLAL
+	LoadStore    int // LDR/STR word and byte, all addressing modes
+	HalfSigned   int // LDRH/STRH/LDRSB/LDRSH, immediate and register offsets
+	Block        int // LDM/STM (all four modes), with and without writeback
+	Const        int // load a random 32-bit constant into a data register
+	CondSkip     int // compare + forward conditional branch over a few instructions
+	Loop         int // bounded counted loop around a short body
+}
+
+// DefaultWeights is the mix the differential fuzzer runs with: heavy on the
+// rarely-combined decode paths (shifter operands, halfword transfers, block
+// transfers) rather than on what the six kernels already cover.
+func DefaultWeights() Weights {
+	return Weights{
+		DataImm:      10,
+		DataReg:      8,
+		DataShiftImm: 8,
+		DataShiftReg: 6,
+		Mul:          5,
+		MulLong:      5,
+		LoadStore:    10,
+		HalfSigned:   7,
+		Block:        6,
+		Const:        6,
+		CondSkip:     5,
+		Loop:         4,
+	}
+}
+
+func (w Weights) zero() bool { return w == Weights{} }
+
+func (w Weights) total() int {
+	return w.DataImm + w.DataReg + w.DataShiftImm + w.DataShiftReg + w.Mul +
+		w.MulLong + w.LoadStore + w.HalfSigned + w.Block + w.Const +
+		w.CondSkip + w.Loop
+}
+
+// Config parameterizes one generated program.
+type Config struct {
+	Seed uint64
+	// Len is the number of body chunks (default 48). A chunk is one to a
+	// handful of instructions that are removable as a unit.
+	Len int
+	// Weights are the instruction-class weights (default DefaultWeights).
+	Weights Weights
+	// CondPct is the percent chance [0,100] that a single-instruction chunk
+	// is conditionalized (default 25).
+	CondPct int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Len <= 0 {
+		c.Len = 48
+	}
+	if c.Weights.zero() {
+		c.Weights = DefaultWeights()
+	}
+	if c.CondPct == 0 {
+		c.CondPct = 25
+	}
+	return c
+}
+
+// Chunk is a self-contained group of assembly lines: removing any subset of
+// chunks from a program leaves a program that still assembles, terminates
+// and stays memory-confined. Labels inside a chunk are unique to it.
+type Chunk struct {
+	Lines []string
+}
+
+// Program is one generated program: the chunk list (the minimizer's unit of
+// deletion), the rendered assembly source and the assembled image.
+type Program struct {
+	Cfg    Config
+	Chunks []Chunk
+	Source string
+	Image  *arm.Program
+}
+
+// rng is splitmix64: tiny, fast and stable across Go versions.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+type gen struct {
+	cfg    Config
+	rng    rng
+	labels int // unique label counter
+}
+
+// Generate produces the program for cfg. It never fails for a valid config;
+// an assembly error indicates a generator bug and is returned as such.
+func Generate(cfg Config) (*Program, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Weights.total() <= 0 {
+		return nil, fmt.Errorf("armgen: all weights zero")
+	}
+	g := &gen{cfg: cfg, rng: rng{s: cfg.Seed}}
+
+	var chunks []Chunk
+	// Prologue: constants into every data register and both address
+	// registers. These are ordinary chunks — the minimizer may delete them
+	// (registers then read as zero, which every engine agrees on).
+	for d := 0; d < numDataRegs; d++ {
+		chunks = append(chunks, g.constChunk(d))
+	}
+	chunks = append(chunks, g.addrInitChunk(addrRegA))
+	chunks = append(chunks, g.addrInitChunk(addrRegB))
+
+	for i := 0; i < cfg.Len; i++ {
+		chunks = append(chunks, g.bodyChunk())
+	}
+
+	p := &Program{Cfg: cfg, Chunks: chunks}
+	p.Source = Render(chunks)
+	img, err := arm.Assemble(p.Source, 0x8000)
+	if err != nil {
+		return nil, fmt.Errorf("armgen: seed %d produced unassemblable source: %w", cfg.Seed, err)
+	}
+	p.Image = img
+	return p, nil
+}
+
+// Render builds assembly source from any chunk subset. The epilogue exits
+// with whatever r0 holds; divergence detection compares full architectural
+// state, so no emit sequence is needed.
+func Render(chunks []Chunk) string {
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	for _, c := range chunks {
+		for _, l := range c.Lines {
+			b.WriteString("\t")
+			b.WriteString(l)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\tswi #0\n")
+	return b.String()
+}
+
+// label returns a fresh branch label.
+func (g *gen) label() string {
+	g.labels++
+	return fmt.Sprintf("g%d", g.labels)
+}
+
+func (g *gen) dataReg() arm.Reg { return arm.Reg(g.rng.intn(numDataRegs)) }
+
+func (g *gen) addrReg() arm.Reg {
+	if g.rng.intn(2) == 0 {
+		return addrRegA
+	}
+	return addrRegB
+}
+
+// cond returns a condition suffix ("" most of the time). NV is never
+// emitted; the assembler has no spelling for it.
+func (g *gen) cond() string {
+	if !g.rng.pct(g.cfg.CondPct) {
+		return ""
+	}
+	conds := []string{"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+		"hi", "ls", "ge", "lt", "gt", "le"}
+	return conds[g.rng.intn(len(conds))]
+}
+
+func (g *gen) sFlag() string {
+	if g.rng.intn(3) == 0 {
+		return "s"
+	}
+	return ""
+}
+
+// rotImm returns a random encodable rotated 8-bit immediate, rendered as a
+// hex literal so the source stays readable.
+func (g *gen) rotImm() string {
+	v := uint32(g.rng.intn(256))
+	rot := uint32(g.rng.intn(16)) * 2
+	if rot != 0 {
+		v = v>>rot | v<<(32-rot)
+	}
+	return fmt.Sprintf("#0x%x", v)
+}
+
+// constChunk sets data register d to a random 32-bit value with mov + up to
+// three orrs (no literal pool, every piece a rotated immediate).
+func (g *gen) constChunk(d int) Chunk {
+	rd := arm.Reg(d)
+	v := uint32(g.rng.next())
+	lines := []string{fmt.Sprintf("mov %s, #0x%x", rd, v&0xff)}
+	for i := 1; i < 4; i++ {
+		if byte(v>>(8*i)) == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("orr %s, %s, #0x%x", rd, rd, uint32(byte(v>>(8*i)))<<(8*i)))
+	}
+	return Chunk{Lines: lines}
+}
+
+// addrInitChunk points an address register at a random slot in the scratch
+// window.
+func (g *gen) addrInitChunk(r int) Chunk {
+	off := uint32(g.rng.intn(256)) * 16 // 0..0xff0, encodable via two imms
+	rr := arm.Reg(r)
+	lines := []string{fmt.Sprintf("mov %s, #0x%x", rr, uint32(ScratchBase))}
+	if off != 0 {
+		lines = append(lines, fmt.Sprintf("orr %s, %s, #0x%x", rr, rr, off))
+	}
+	return Chunk{Lines: lines}
+}
+
+// clampLines re-establish the confinement invariant for address register r:
+// r = ScratchBase + (r & 0xff0). Both masks are encodable immediates.
+func clampLines(r arm.Reg) []string {
+	return []string{
+		fmt.Sprintf("and r12, %s, #0xff0", r),
+		fmt.Sprintf("orr %s, r12, #0x%x", r, uint32(ScratchBase)),
+	}
+}
+
+type chunkKind int
+
+const (
+	kDataImm chunkKind = iota
+	kDataReg
+	kDataShiftImm
+	kDataShiftReg
+	kMul
+	kMulLong
+	kLoadStore
+	kHalfSigned
+	kBlock
+	kConst
+	kCondSkip
+	kLoop
+)
+
+// pick draws a chunk kind according to the weights.
+func (g *gen) pick(w Weights) chunkKind {
+	entries := []struct {
+		k chunkKind
+		w int
+	}{
+		{kDataImm, w.DataImm}, {kDataReg, w.DataReg},
+		{kDataShiftImm, w.DataShiftImm}, {kDataShiftReg, w.DataShiftReg},
+		{kMul, w.Mul}, {kMulLong, w.MulLong},
+		{kLoadStore, w.LoadStore}, {kHalfSigned, w.HalfSigned},
+		{kBlock, w.Block}, {kConst, w.Const},
+		{kCondSkip, w.CondSkip}, {kLoop, w.Loop},
+	}
+	n := g.rng.intn(w.total())
+	for _, e := range entries {
+		if n < e.w {
+			return e.k
+		}
+		n -= e.w
+	}
+	return kDataImm // unreachable
+}
+
+func (g *gen) bodyChunk() Chunk {
+	return g.chunkOf(g.pick(g.cfg.Weights), true)
+}
+
+// innerWeights are the weights used inside loop bodies and conditional
+// skips: no nested control flow.
+func (w Weights) inner() Weights {
+	w.CondSkip, w.Loop = 0, 0
+	if w.total() == 0 { // control-flow-only config: fill bodies with DP
+		w.DataImm = 1
+	}
+	return w
+}
+
+func (g *gen) innerChunk() Chunk {
+	return g.chunkOf(g.pick(g.cfg.Weights.inner()), false)
+}
+
+func (g *gen) chunkOf(k chunkKind, topLevel bool) Chunk {
+	switch k {
+	case kDataImm, kDataReg, kDataShiftImm, kDataShiftReg:
+		return Chunk{Lines: []string{g.dpLine(k)}}
+	case kMul:
+		return Chunk{Lines: []string{g.mulLine()}}
+	case kMulLong:
+		return Chunk{Lines: []string{g.mulLongLine()}}
+	case kLoadStore:
+		return Chunk{Lines: g.loadStoreLines(false)}
+	case kHalfSigned:
+		return Chunk{Lines: g.loadStoreLines(true)}
+	case kBlock:
+		return Chunk{Lines: g.blockLines()}
+	case kConst:
+		return g.constChunk(int(g.dataReg()))
+	case kCondSkip:
+		return g.condSkipChunk()
+	case kLoop:
+		return g.loopChunk()
+	}
+	return Chunk{Lines: []string{"nop"}}
+}
+
+var dpOps = []string{
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+	"tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+}
+
+var shiftTypes = []string{"lsl", "lsr", "asr", "ror"}
+
+// dpLine emits one data-processing instruction with the requested operand-2
+// form. Destinations are data registers only, so flags and control state
+// stay well-formed.
+func (g *gen) dpLine(k chunkKind) string {
+	op := dpOps[g.rng.intn(len(dpOps))]
+	cond := g.cond()
+	isCmp := op == "tst" || op == "teq" || op == "cmp" || op == "cmn"
+	noRn := op == "mov" || op == "mvn"
+	s := g.sFlag()
+	if isCmp {
+		s = ""
+	}
+
+	var op2 string
+	switch k {
+	case kDataImm:
+		op2 = g.rotImm()
+	case kDataReg:
+		op2 = g.dataReg().String()
+	case kDataShiftImm:
+		typ := shiftTypes[g.rng.intn(len(shiftTypes))]
+		if g.rng.intn(8) == 0 {
+			op2 = fmt.Sprintf("%s, rrx", g.dataReg())
+		} else {
+			amt := 1 + g.rng.intn(31)
+			op2 = fmt.Sprintf("%s, %s #%d", g.dataReg(), typ, amt)
+		}
+	default: // kDataShiftReg
+		typ := shiftTypes[g.rng.intn(len(shiftTypes))]
+		op2 = fmt.Sprintf("%s, %s %s", g.dataReg(), typ, g.dataReg())
+	}
+
+	switch {
+	case isCmp:
+		return fmt.Sprintf("%s%s %s, %s", op, cond, g.dataReg(), op2)
+	case noRn:
+		return fmt.Sprintf("%s%s%s %s, %s", op, cond, s, g.dataReg(), op2)
+	default:
+		return fmt.Sprintf("%s%s%s %s, %s, %s", op, cond, s, g.dataReg(), g.dataReg(), op2)
+	}
+}
+
+func (g *gen) mulLine() string {
+	cond, s := g.cond(), g.sFlag()
+	rd := g.dataReg()
+	rm := g.dataReg()
+	for rm == rd { // ARM7: Rd and Rm must differ
+		rm = arm.Reg((int(rm) + 1) % numDataRegs)
+	}
+	rs := g.dataReg()
+	if g.rng.intn(2) == 0 {
+		return fmt.Sprintf("mla%s%s %s, %s, %s, %s", cond, s, rd, rm, rs, g.dataReg())
+	}
+	return fmt.Sprintf("mul%s%s %s, %s, %s", cond, s, rd, rm, rs)
+}
+
+func (g *gen) mulLongLine() string {
+	mn := []string{"umull", "umlal", "smull", "smlal"}[g.rng.intn(4)]
+	cond, s := g.cond(), g.sFlag()
+	lo := g.dataReg()
+	hi := g.dataReg()
+	for hi == lo { // RdHi, RdLo must be distinct
+		hi = arm.Reg((int(hi) + 1) % numDataRegs)
+	}
+	rm := g.dataReg()
+	for rm == lo || rm == hi { // and distinct from Rm
+		rm = arm.Reg((int(rm) + 1) % numDataRegs)
+	}
+	return fmt.Sprintf("%s%s%s %s, %s, %s, %s", mn, cond, s, lo, hi, rm, g.dataReg())
+}
+
+// boundedOffLines derives a bounded offset register: r12 = rX & mask.
+func (g *gen) boundedOffLine(mask uint32) string {
+	return fmt.Sprintf("and r12, %s, #0x%x", g.dataReg(), mask)
+}
+
+// loadStoreLines emits one word/byte (or halfword/signed) transfer in a
+// random addressing mode, with the clamp lines that restore the base
+// invariant after any writeback.
+func (g *gen) loadStoreLines(halfSigned bool) []string {
+	cond := g.cond()
+	base := g.addrReg()
+	rd := g.dataReg()
+	sign := ""
+	if g.rng.intn(3) == 0 {
+		sign = "-"
+	}
+
+	var mn string
+	var maxImm int
+	if halfSigned {
+		mn = []string{"ldrh", "strh", "ldrsb", "ldrsh"}[g.rng.intn(4)]
+		maxImm = 255
+	} else {
+		mn = []string{"ldr", "str", "ldrb", "strb"}[g.rng.intn(4)]
+		maxImm = 255 // stay well inside the window even though 12 bits encode
+	}
+	mn += cond
+
+	var lines []string
+	var addr string
+	regOff := g.rng.intn(3) == 0
+	if regOff {
+		lines = append(lines, g.boundedOffLine(0xf8))
+		if !halfSigned && g.rng.intn(2) == 0 {
+			addr = fmt.Sprintf("%sr12, lsl #2", sign) // scaled, still bounded
+		} else {
+			addr = fmt.Sprintf("%sr12", sign)
+		}
+	} else {
+		off := g.rng.intn(maxImm + 1)
+		if off == 0 {
+			sign = "" // "#-0" would lose its U bit through the disassembler
+		}
+		addr = fmt.Sprintf("#%s%d", sign, off)
+	}
+
+	mode := g.rng.intn(3)
+	switch mode {
+	case 0: // plain pre-indexed
+		lines = append(lines, fmt.Sprintf("%s %s, [%s, %s]", mn, rd, base, addr))
+	case 1: // pre-indexed with writeback
+		lines = append(lines, fmt.Sprintf("%s %s, [%s, %s]!", mn, rd, base, addr))
+		lines = append(lines, clampLines(base)...)
+	default: // post-indexed
+		lines = append(lines, fmt.Sprintf("%s %s, [%s], %s", mn, rd, base, addr))
+		lines = append(lines, clampLines(base)...)
+	}
+	return lines
+}
+
+// blockLines emits one LDM/STM over data registers. The base register is
+// never in the list, so writeback stays well-defined on every engine.
+func (g *gen) blockLines() []string {
+	mode := []string{"ia", "ib", "da", "db"}[g.rng.intn(4)]
+	load := g.rng.intn(2) == 0
+	mn := "stm"
+	if load {
+		mn = "ldm"
+	}
+	mask := 1 + g.rng.intn(1<<numDataRegs-1) // non-empty subset of r0..r7
+	var regs []string
+	for r := 0; r < numDataRegs; r++ {
+		if mask&(1<<r) != 0 {
+			regs = append(regs, arm.Reg(r).String())
+		}
+	}
+	base := g.addrReg()
+	wb := ""
+	var lines []string
+	if g.rng.intn(2) == 0 {
+		wb = "!"
+	}
+	lines = append(lines, fmt.Sprintf("%s%s%s %s%s, {%s}",
+		mn, mode, g.cond(), base, wb, strings.Join(regs, ", ")))
+	if wb != "" {
+		lines = append(lines, clampLines(base)...)
+	}
+	return lines
+}
+
+// condSkipChunk compares two data registers and conditionally branches
+// forward over a short body — the only forward branches in the stream, and
+// always within the chunk.
+func (g *gen) condSkipChunk() Chunk {
+	l := g.label()
+	conds := []string{"eq", "ne", "cs", "cc", "mi", "pl", "hi", "ls", "ge", "lt", "gt", "le"}
+	lines := []string{
+		fmt.Sprintf("cmp %s, %s", g.dataReg(), g.dataReg()),
+		fmt.Sprintf("b%s %s", conds[g.rng.intn(len(conds))], l),
+	}
+	for n := 1 + g.rng.intn(3); n > 0; n-- {
+		lines = append(lines, g.innerChunk().Lines...)
+	}
+	lines = append(lines, l+":")
+	return Chunk{Lines: lines}
+}
+
+// loopChunk emits a counted loop on the reserved counter register. Inner
+// chunks never write r11, so the loop always runs exactly its constant
+// count.
+func (g *gen) loopChunk() Chunk {
+	l := g.label()
+	count := 1 + g.rng.intn(6)
+	lines := []string{
+		fmt.Sprintf("mov r11, #%d", count),
+		l + ":",
+	}
+	for n := 1 + g.rng.intn(4); n > 0; n-- {
+		lines = append(lines, g.innerChunk().Lines...)
+	}
+	lines = append(lines,
+		"subs r11, r11, #1",
+		fmt.Sprintf("bne %s", l),
+	)
+	return Chunk{Lines: lines}
+}

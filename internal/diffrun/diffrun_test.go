@@ -1,0 +1,89 @@
+package diffrun
+
+import (
+	"testing"
+
+	"rcpn/internal/armgen"
+)
+
+// TestGeneratedSeedsConform is the in-tree slice of the fuzzer: a band of
+// generated programs must run divergence-free across the whole engine
+// registry, plain and checkpointed. cmd/rcpnfuzz sweeps far larger seed
+// ranges in CI.
+func TestGeneratedSeedsConform(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		p, err := armgen.Generate(armgen.Config{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Run(p.Image, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Clean() {
+			t.Errorf("seed %d:\n%s\nprogram:\n%s", seed, res.Report(), p.Source)
+		}
+	}
+}
+
+// TestReportDeterministic requires byte-identical reports across repeated
+// runs of the same program — the contract the minimizer's determinism
+// re-check and CI log diffing rely on.
+func TestReportDeterministic(t *testing.T) {
+	p, err := armgen.Generate(armgen.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(p.Image, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p.Image, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() != b.Report() {
+		t.Fatalf("reports differ between runs:\n--- a\n%s\n--- b\n%s", a.Report(), b.Report())
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatalf("signatures differ between runs")
+	}
+}
+
+// TestMutationHookDetected plants a trivially wrong engine (every MOV
+// immediate is off by one) and requires the runner to flag it and only it.
+func TestMutationHookDetected(t *testing.T) {
+	p, err := armgen.Generate(armgen.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := Engines()
+	for i, e := range engines {
+		if e.Name == "func" {
+			engines[i] = e.WithProgramMutation(func(words []uint32) {
+				for j, w := range words {
+					// MOV rd, #imm (AL only): flip immediate bit 0.
+					if w&0x0fef0000 == 0x03a00000 && w>>28 == 14 {
+						words[j] = w ^ 1
+					}
+				}
+			})
+		}
+	}
+	res, err := Run(p.Image, Options{Engines: engines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() {
+		t.Fatal("mutated engine not detected")
+	}
+	for _, d := range res.Divergences {
+		if d.Engine != "func" {
+			t.Errorf("unexpected divergence in unmutated engine %s+%s", d.Engine, d.Variant)
+		}
+	}
+}

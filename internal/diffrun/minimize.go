@@ -1,0 +1,181 @@
+package diffrun
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/armgen"
+)
+
+// Check evaluates a chunk subset and reports whether it still diverges,
+// with the divergence signature (empty when clean). Errors mean the
+// candidate could not be evaluated (e.g. failed to assemble) and the
+// minimizer treats it as not reproducing.
+type Check func(chunks []armgen.Chunk) (sig string, err error)
+
+// CheckEngines builds a Check that assembles the rendered chunks and runs
+// them differentially under opt. The returned check runs every candidate
+// TWICE and only accepts a divergence whose signature is identical across
+// both runs — the determinism re-check that keeps flaky repros out of the
+// regression corpus.
+func CheckEngines(opt Options) Check {
+	return func(chunks []armgen.Chunk) (string, error) {
+		src := armgen.Render(chunks)
+		p, err := arm.Assemble(src, 0x8000)
+		if err != nil {
+			return "", err
+		}
+		first, err := Run(p, opt)
+		if err != nil {
+			return "", err
+		}
+		if first.Clean() {
+			return "", nil
+		}
+		second, err := Run(p, opt)
+		if err != nil {
+			return "", err
+		}
+		sigA, sigB := first.Signature(), second.Signature()
+		if sigA != sigB {
+			return "", fmt.Errorf("diffrun: non-deterministic divergence:\n--- run 1\n%s\n--- run 2\n%s", sigA, sigB)
+		}
+		return sigA, nil
+	}
+}
+
+// MinimizeResult is the outcome of a minimization.
+type MinimizeResult struct {
+	Chunks    []armgen.Chunk
+	Source    string
+	Signature string // divergence signature of the minimized program
+	Steps     int    // check evaluations spent
+}
+
+// Instructions counts the instruction lines of the minimized program,
+// including the exit stub (labels are not instructions).
+func (m MinimizeResult) Instructions() int {
+	n := 1 // swi #0 stub
+	for _, c := range m.Chunks {
+		for _, l := range c.Lines {
+			if !strings.HasSuffix(l, ":") {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// engineSet extracts the "engine/variant" keys from a divergence signature —
+// the coarse identity of a failure, ignoring the state-diff details that
+// legitimately shift as a program shrinks.
+func engineSet(sig string) map[string]bool {
+	set := make(map[string]bool)
+	for _, line := range strings.Split(sig, "\n") {
+		if i := strings.Index(line, ": "); i > 0 {
+			set[line[:i]] = true
+		}
+	}
+	return set
+}
+
+// withinLock reports whether every diverging engine variant in sig was
+// already diverging in the original failure. Allowing the set to shrink is
+// fine (the smallest repro may witness the bug on one engine only); gaining
+// a new engine variant means the candidate tripped a different bug, and
+// accepting it would let the minimizer wander away from the failure it was
+// asked to isolate.
+func withinLock(sig string, lock map[string]bool) bool {
+	for key := range engineSet(sig) {
+		if !lock[key] {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize delta-debugs the chunk list down to a locally minimal program
+// that still diverges: it repeatedly tries to delete contiguous chunk
+// windows of halving size, keeping any deletion under which the (twice-run,
+// determinism-checked) divergence persists, until no single chunk can be
+// removed. The input must itself diverge. Candidates are only accepted while
+// their diverging engine set stays within the input's — the minimizer stays
+// locked on the original failure instead of sliding onto whatever unrelated
+// divergence a shrunken program happens to expose.
+func Minimize(chunks []armgen.Chunk, check Check) (MinimizeResult, error) {
+	res := MinimizeResult{Steps: 1}
+	sig, err := check(chunks)
+	if err != nil {
+		return res, fmt.Errorf("diffrun: minimize: input check failed: %w", err)
+	}
+	if sig == "" {
+		return res, fmt.Errorf("diffrun: minimize: input does not diverge")
+	}
+	lock := engineSet(sig)
+
+	cur := append([]armgen.Chunk(nil), chunks...)
+	startWindow := len(cur) / 2
+	if startWindow == 0 && len(cur) > 0 {
+		startWindow = 1
+	}
+	for window := startWindow; window >= 1; {
+		removedAny := false
+		for start := 0; start+window <= len(cur); {
+			cand := make([]armgen.Chunk, 0, len(cur)-window)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+window:]...)
+			res.Steps++
+			candSig, err := check(cand)
+			if err == nil && candSig != "" && withinLock(candSig, lock) {
+				cur, sig = cand, candSig
+				removedAny = true
+				// Do not advance start: the next window slid into place.
+			} else {
+				start++
+			}
+		}
+		if window == 1 && !removedAny {
+			break
+		}
+		if !removedAny {
+			window /= 2
+		} else if window > len(cur)/2 {
+			window = len(cur) / 2
+			if window == 0 {
+				window = 1
+			}
+		}
+	}
+	res.Chunks = cur
+	res.Source = armgen.Render(cur)
+	res.Signature = sig
+	return res, nil
+}
+
+// WriteRegression writes a minimized repro as a committed regression kernel
+// under dir: a self-describing assembly file whose comment header carries
+// the generator seed and the divergence it witnessed. The conformance
+// matrix auto-discovers every *.s file in the directory, so the bug this
+// program caught is replayed as a named matrix cell forever after.
+func WriteRegression(dir, name string, cfg armgen.Config, m MinimizeResult) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; regression kernel %s — minimized by rcpnfuzz\n", name)
+	fmt.Fprintf(&b, "; generator: seed=%d len=%d (armgen)\n", cfg.Seed, cfg.Len)
+	fmt.Fprintf(&b, "; %d instructions after minimization\n", m.Instructions())
+	b.WriteString(";\n; divergence witnessed at capture time:\n")
+	for _, l := range strings.Split(strings.TrimRight(m.Signature, "\n"), "\n") {
+		fmt.Fprintf(&b, ";   %s\n", l)
+	}
+	b.WriteString(m.Source)
+	path := filepath.Join(dir, name+".s")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

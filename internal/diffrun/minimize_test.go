@@ -1,0 +1,121 @@
+package diffrun
+
+import (
+	"strings"
+	"testing"
+
+	"rcpn/internal/armgen"
+	"rcpn/internal/workload"
+)
+
+// mutateMLA clears the accumulate bit of every AL-conditioned MLA, turning
+// it into a plain MUL — a classic decode defect, deterministic and silent
+// until a program actually multiplies-and-accumulates.
+func mutateMLA(words []uint32) {
+	for j, w := range words {
+		if w>>28 == 14 && w&0x0fe000f0 == 0x00200090 {
+			words[j] = w &^ (1 << 21)
+		}
+	}
+}
+
+// plantedEngines returns the registry with the named engine executing a
+// mutated program image.
+func plantedEngines(t *testing.T, name string, mutate func([]uint32)) []Engine {
+	t.Helper()
+	engines := Engines()
+	found := false
+	for i, e := range engines {
+		if e.Name == name {
+			engines[i] = e.WithProgramMutation(mutate)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("engine %s not in registry", name)
+	}
+	return engines
+}
+
+// TestPlantedBugMinimizedToRegression is the acceptance loop of the fuzzer:
+// a deliberately broken engine is caught by the differential runner, the
+// failing program is delta-debugged to a tiny kernel (≤25 instructions), the
+// kernel is written to a regression directory, and LoadRegressions replays
+// it — still witnessing the planted bug — exactly the way the conformance
+// matrix auto-discovers committed repros.
+func TestPlantedBugMinimizedToRegression(t *testing.T) {
+	opt := Options{Engines: plantedEngines(t, "arm9", mutateMLA)}
+
+	// Find a seed whose generated program trips the planted bug. MLA is in
+	// the default weight mix, so the first few seeds suffice.
+	var cfg armgen.Config
+	var prog *armgen.Program
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg = armgen.Config{Seed: seed}
+		p, err := armgen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Run(p.Image, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Clean() {
+			prog = p
+			break
+		}
+	}
+	if prog == nil {
+		t.Fatal("planted MLA bug not triggered by seeds 1..10")
+	}
+
+	m, err := Minimize(prog.Chunks, CheckEngines(opt))
+	if err != nil {
+		t.Fatalf("minimize: %v", err)
+	}
+	if n := m.Instructions(); n > 25 {
+		t.Errorf("minimized kernel has %d instructions, want <= 25:\n%s", n, m.Source)
+	}
+	for _, key := range []string{"arm9/plain"} {
+		if !strings.Contains(m.Signature, key) {
+			t.Errorf("minimized signature lost the planted engine %q:\n%s", key, m.Signature)
+		}
+	}
+	if !strings.Contains(m.Source, "mla") {
+		t.Errorf("minimized kernel dropped the MLA the bug needs:\n%s", m.Source)
+	}
+
+	// Commit the kernel to a (temp) regression dir and replay it through the
+	// same loader the conformance matrix uses.
+	dir := t.TempDir()
+	if _, err := WriteRegression(dir, "mla-accumulate", cfg, m); err != nil {
+		t.Fatalf("write regression: %v", err)
+	}
+	ws, err := workload.LoadRegressions(dir)
+	if err != nil {
+		t.Fatalf("load regressions: %v", err)
+	}
+	if len(ws) != 1 || ws[0].Name != "regress-mla-accumulate" {
+		t.Fatalf("unexpected regression workloads: %+v", ws)
+	}
+	rp, err := ws[0].Program(1)
+	if err != nil {
+		t.Fatalf("assemble regression: %v", err)
+	}
+	res, err := Run(rp, opt)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Clean() {
+		t.Fatal("replayed regression kernel no longer witnesses the planted bug")
+	}
+	// And on the honest registry the kernel must be clean — the bug was
+	// planted, not real.
+	honest, err := Run(rp, Options{})
+	if err != nil {
+		t.Fatalf("honest replay: %v", err)
+	}
+	if !honest.Clean() {
+		t.Fatalf("regression kernel diverges on the unmutated registry:\n%s", honest.Report())
+	}
+}

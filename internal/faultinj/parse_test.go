@@ -1,0 +1,72 @@
+package faultinj
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrors is the table of malformed plan strings: every rejection
+// must name the offending token so a typo in a long comma-separated plan is
+// findable from the error alone.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{"missing action", "journal.append", []string{`"journal.append"`, "want site:action"}},
+		{"empty site", ":error", []string{`":error"`, "empty site"}},
+		{"empty site with modifiers", "#2:error", []string{"empty site"}},
+		{"unknown action", "site:explode", []string{`"site:explode"`, "unknown action", `"explode"`}},
+		{"empty action", "site:", []string{"unknown action", `""`}},
+		{"non-numeric hit count", "site#two:error", []string{`"site#two:error"`, "bad hit count", `"two"`}},
+		{"zero hit count", "site#0:error", []string{"bad hit count", `"0"`}},
+		{"negative hit count", "site#-3:error", []string{"bad hit count", `"-3"`}},
+		{"non-numeric value", "site@soon:error", []string{`"site@soon:error"`, "bad value", `"soon"`}},
+		{"zero value", "site@0:error", []string{"bad value", `"0"`}},
+		{"non-numeric times", "site*many:error", []string{`"site*many:error"`, "bad times", `"many"`}},
+		{"zero times", "site*0:error", []string{"bad times", `"0"`}},
+		{"times below -1", "site*-2:error", []string{"bad times", `"-2"`}},
+		{"delay without duration", "site:delay", []string{`"site:delay"`, "delay needs a duration"}},
+		{"delay with bad duration", "site:delay=fast", []string{"delay needs a duration"}},
+		{"delay with negative duration", "site:delay=-5ms", []string{"delay needs a duration"}},
+		{"bad rule among good ones", "a:error,b:nonsense,c:panic", []string{`"b:nonsense"`, "unknown action"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := Parse(tc.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted a malformed plan (injector %v)", tc.spec, in)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("Parse(%q) error %q does not name %q", tc.spec, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseAccepts pins the valid corners of the grammar next to the error
+// table: every modifier alone and combined, empty elements skipped, spaces
+// trimmed.
+func TestParseAccepts(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		" , ,",
+		"site:error",
+		"site:error=custom message",
+		"site:panic",
+		"site:panic=msg with = sign",
+		"site:delay=5ms",
+		"site#3:error",
+		"site@50000:error",
+		"site*-1:error",
+		"site#2@100*4:error",
+		" a.b#1:error , c.d*2:delay=1us ",
+	} {
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q): unexpected error: %v", spec, err)
+		}
+	}
+}

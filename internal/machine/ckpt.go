@@ -67,7 +67,7 @@ func (m *Machine) RunN(n uint64, maxCycles int64) error {
 	}
 	m.holdFetch = true
 	defer func() { m.holdFetch = false }()
-	for !m.Exited && !m.Drained() {
+	for !m.Drained() {
 		if err := step(); err != nil {
 			return err
 		}
@@ -90,7 +90,7 @@ func (m *Machine) RunUntil(target uint64, cycleLimit int64) error {
 	if cycleLimit <= 0 {
 		cycleLimit = 1 << 40
 	}
-	for !m.Exited && m.Instret < target && m.Net.CycleCount() < cycleLimit {
+	for !m.halted() && m.Instret < target && m.Net.CycleCount() < cycleLimit {
 		m.Net.Step()
 		if m.tracer != nil {
 			m.tracer.snap()
@@ -112,7 +112,7 @@ func (m *Machine) Drain(maxCycles int64) error {
 	}
 	m.holdFetch = true
 	defer func() { m.holdFetch = false }()
-	for !m.Exited && !m.Drained() {
+	for !m.Drained() {
 		if m.Net.CycleCount() >= maxCycles {
 			return fmt.Errorf("%s: cycle limit %d exceeded draining at pc=%#08x", m.Name, maxCycles, m.pc)
 		}

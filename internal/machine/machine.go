@@ -176,13 +176,24 @@ func (m *Machine) CPI() float64 {
 	return float64(m.Net.CycleCount()) / float64(m.Instret)
 }
 
-// Run simulates until the program exits, an error occurs, or maxCycles
-// elapses (0 = 1<<40).
+// halted reports whether simulation can stop: the program has exited AND
+// every older in-flight instruction has written back. The second clause
+// makes traps precise on machines that complete out of order — XScale's
+// separate memory pipe can hold a cache-missing load for dozens of cycles
+// while the SWI commits through the ALU pipe, and stopping on Exited alone
+// would lose that load's architected writeback (and its retirement count).
+// Short-circuit keeps the Drained sweep off the hot path.
+func (m *Machine) halted() bool {
+	return m.Exited && m.Drained()
+}
+
+// Run simulates until the program exits (and the pipeline drains), an error
+// occurs, or maxCycles elapses (0 = 1<<40).
 func (m *Machine) Run(maxCycles int64) error {
 	if maxCycles <= 0 {
 		maxCycles = 1 << 40
 	}
-	for !m.Exited {
+	for !m.halted() {
 		if m.Net.CycleCount() >= maxCycles {
 			return fmt.Errorf("%s: cycle limit %d exceeded at pc=%#08x", m.Name, maxCycles, m.pc)
 		}

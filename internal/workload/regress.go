@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadRegressions reads every *.s file under dir as a regression kernel —
+// the minimized repros rcpnfuzz commits after a divergence hunt. Each file
+// becomes a Workload named "regress-<stem>" whose source ignores the scale
+// factor (repros are already minimal). Files are returned in sorted name
+// order so callers iterate deterministically. A missing directory is not an
+// error: there are simply no regressions yet.
+func LoadRegressions(dir string) ([]*Workload, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("workload: regressions: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".s") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Workload
+	for _, name := range names {
+		text, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("workload: regressions: %w", err)
+		}
+		src := string(text)
+		out = append(out, &Workload{
+			Name:   "regress-" + strings.TrimSuffix(name, ".s"),
+			Suite:  "regression",
+			source: func(int) string { return src },
+		})
+	}
+	return out, nil
+}

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"rcpn/internal/arm"
+	"rcpn/internal/diffrun"
 	"rcpn/internal/obsv"
 	"rcpn/internal/workload"
 )
@@ -28,16 +29,16 @@ import (
 // runInstrumented builds engine e on p, attaches a profile and a tracer
 // (ring capacity cap; cap 0 = no tracer), runs to completion, and returns
 // the outcome.
-func runInstrumented(t *testing.T, e conformanceEngine, p *arm.Program, cap int) (
+func runInstrumented(t *testing.T, e diffrun.Engine, p *arm.Program, cap int) (
 	cycles int64, instret uint64, prof *obsv.StallProfile, tr *obsv.Tracer) {
 	t.Helper()
-	st, _, err := e.build(p)
+	st, _, err := e.Build(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ins, ok := st.(obsv.Instrumentable)
 	if !ok {
-		t.Fatalf("engine %s stepper is not obsv.Instrumentable", e.name)
+		t.Fatalf("engine %s stepper is not obsv.Instrumentable", e.Name)
 	}
 	prof = ins.EnableProfile()
 	if cap > 0 {
@@ -49,7 +50,7 @@ func runInstrumented(t *testing.T, e conformanceEngine, p *arm.Program, cap int)
 		t.Fatal(err)
 	}
 	if !done {
-		t.Fatal(errNotFinished)
+		t.Fatal("run hit the position limit without exiting")
 	}
 	cycles, instret = st.Progress()
 	return cycles, instret, prof, tr
@@ -67,9 +68,9 @@ func TestStallPartitionIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, e := range conformanceEngines() {
+			for _, e := range diffrun.Engines() {
 				e := e
-				t.Run(e.name, func(t *testing.T) {
+				t.Run(e.Name, func(t *testing.T) {
 					_, _, prof, _ := runInstrumented(t, e, p, 0)
 					if err := prof.Validate(); err != nil {
 						t.Fatal(err)
@@ -87,16 +88,16 @@ func TestStallPartitionIdentity(t *testing.T) {
 // byte-identical artifacts, and instrumentation does not perturb the run.
 func TestObservabilityDeterministic(t *testing.T) {
 	const ring = 1 << 16
-	for _, e := range conformanceEngines() {
+	for _, e := range diffrun.Engines() {
 		e := e
-		t.Run(e.name, func(t *testing.T) {
+		t.Run(e.Name, func(t *testing.T) {
 			p, err := workload.ByName("crc").Program(1)
 			if err != nil {
 				t.Fatal(err)
 			}
 
 			// Baseline: no instrumentation at all.
-			st, _, err := e.build(p)
+			st, _, err := e.Build(p)
 			if err != nil {
 				t.Fatal(err)
 			}

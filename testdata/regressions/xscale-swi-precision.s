@@ -1,0 +1,17 @@
+; regression kernel xscale-swi-precision — minimized by rcpnfuzz
+; generator: seed=4 len=48 (armgen)
+; 3 instructions after minimization
+;
+; divergence witnessed at capture time:
+;   xscale/plain: r7 = 0x0, iss 0x0; instret 2, iss 3
+;
+; The XScale model completes out of order across its ALU and memory pipes:
+; the SWI here commits through the ALU pipe in a few cycles while the
+; cache-missing load is still holding its memory-pipe slot for the miss
+; latency. Simulation used to stop the moment the SWI set Exited, so the
+; load never wrote back and never counted as retired. Fixed by draining the
+; pipeline after exit (machine.halted); this kernel keeps the trap precise.
+_start:
+	mov r9, #0x100000
+	ldr r7, [r9, #0x84]
+	swi #0
