@@ -4,7 +4,7 @@ package rcpn
 
 // Bench regression guard, build-tagged out of the default test run:
 //
-//	go test -tags bench_guard -run TestBenchGuard -v .
+//	go test -tags bench_guard -run 'TestBenchGuard|TestGeneratedSpeedup' -v .
 //
 // With observability disabled (the nil-check fast path), each cycle engine
 // runs the crc kernel and its simulation rate must stay within benchGuardDrop
@@ -14,16 +14,22 @@ package rcpn
 // runs — and it is advisory in CI (hosted runners are noisy; the committed
 // baseline describes the reference container).
 //
+// TestGeneratedSpeedup is the paper's compiled-vs-interpreted claim made
+// executable: the generated pipe5 simulator must beat its cycle-identical
+// interpreted twin by genSpeedupFloor in geometric mean across all kernels.
+//
 // Regenerate the baseline on the reference machine with:
 //
 //	RCPN_BENCH_BASELINE_WRITE=1 go test -tags bench_guard -run TestBenchGuard .
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 	"time"
 
+	"rcpn/internal/diffrun"
 	"rcpn/internal/workload"
 )
 
@@ -37,33 +43,38 @@ const benchGuardDrop = 0.15
 // shedding scheduler noise the cheap way.
 const benchGuardReps = 3
 
-// guardEngines are the measured microbenches: the cycle engines on crc.
-var guardEngines = []string{"pipe5", "strongarm", "ssim"}
+// guardEngines are the measured microbenches: the cycle engines on crc,
+// interpreted and generated.
+var guardEngines = []string{"pipe5", "strongarm", "ssim", "genpipe5"}
 
-func guardEngine(t *testing.T, name string) conformanceEngine {
+// genSpeedupFloor is the minimum geometric-mean speedup of the generated
+// pipe5 engine over the interpreted RCPN engine it was compiled from.
+const genSpeedupFloor = 1.3
+
+func guardEngine(t *testing.T, name string) diffrun.Engine {
 	t.Helper()
-	for _, e := range conformanceEngines() {
-		if e.name == name {
+	for _, e := range diffrun.Engines() {
+		if e.Name == name {
 			return e
 		}
 	}
 	t.Fatalf("unknown guard engine %q", name)
-	return conformanceEngine{}
+	return diffrun.Engine{}
 }
 
 // measureMcps returns the best-of-reps simulation rate of one engine on
-// crc, in simulated Mcycles per wall second, with no observability
+// the kernel, in simulated Mcycles per wall second, with no observability
 // attached.
-func measureMcps(t *testing.T, name string) float64 {
+func measureMcps(t *testing.T, engine, kernel string) float64 {
 	t.Helper()
-	e := guardEngine(t, name)
-	p, err := workload.ByName("crc").Program(1)
+	e := guardEngine(t, engine)
+	p, err := workload.ByName(kernel).Program(1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	best := 0.0
 	for rep := 0; rep < benchGuardReps; rep++ {
-		st, _, err := e.build(p)
+		st, _, err := e.Build(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +82,7 @@ func measureMcps(t *testing.T, name string) float64 {
 		done, err := st.StepTo(noLimit)
 		wall := time.Since(start)
 		if err != nil || !done {
-			t.Fatalf("%s: done=%v err=%v", name, done, err)
+			t.Fatalf("%s/%s: done=%v err=%v", engine, kernel, done, err)
 		}
 		cycles, _ := st.Progress()
 		if mcps := float64(cycles) / 1e6 / wall.Seconds(); mcps > best {
@@ -85,7 +96,7 @@ func TestBenchGuard(t *testing.T) {
 	if os.Getenv("RCPN_BENCH_BASELINE_WRITE") != "" {
 		out := map[string]float64{}
 		for _, name := range guardEngines {
-			out[name] = measureMcps(t, name)
+			out[name] = measureMcps(t, name, "crc")
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -113,7 +124,7 @@ func TestBenchGuard(t *testing.T) {
 			if !ok {
 				t.Fatalf("baseline lacks %q; regenerate it", name)
 			}
-			got := measureMcps(t, name)
+			got := measureMcps(t, name, "crc")
 			floor := (1 - benchGuardDrop) * want
 			t.Logf("%s: %.2f Mcycles/s (baseline %.2f, floor %.2f)", name, got, want, floor)
 			if got < floor {
@@ -121,5 +132,28 @@ func TestBenchGuard(t *testing.T) {
 					name, got, floor, want, 100*benchGuardDrop)
 			}
 		})
+	}
+}
+
+// TestGeneratedSpeedup measures genpipe5 against the interpreted
+// strongarm engine on every kernel and asserts the geometric-mean speedup
+// floor. The per-kernel rates it logs are the source of the EXPERIMENTS.md
+// speedup table.
+func TestGeneratedSpeedup(t *testing.T) {
+	logGM := 0.0
+	n := 0
+	for _, w := range workload.All() {
+		gen := measureMcps(t, "genpipe5", w.Name)
+		interp := measureMcps(t, "strongarm", w.Name)
+		speedup := gen / interp
+		t.Logf("%-10s interpreted %6.2f Mcps   generated %6.2f Mcps   speedup %.2fx",
+			w.Name, interp, gen, speedup)
+		logGM += math.Log(speedup)
+		n++
+	}
+	gm := math.Exp(logGM / float64(n))
+	t.Logf("geomean speedup: %.2fx (floor %.2fx)", gm, genSpeedupFloor)
+	if gm < genSpeedupFloor {
+		t.Errorf("generated engine geomean speedup %.2fx < %.2fx floor", gm, genSpeedupFloor)
 	}
 }

@@ -70,6 +70,9 @@ func (s *Stage) Free() int {
 // arrivals of two-list places and reservation tokens).
 func (s *Stage) Occupancy() int { return s.occupancy }
 
+// ID returns the stage's dense creation index.
+func (s *Stage) ID() int { return s.id }
+
 // Place is an instruction state assigned to a pipeline stage.
 type Place struct {
 	Name  string
@@ -105,6 +108,11 @@ type Place struct {
 
 // ID returns the place's dense index, usable as a reg.StateQuerier state.
 func (p *Place) ID() int { return p.id }
+
+// Position returns the place's slot in the reverse topological evaluation
+// order (valid after Build; 0 is evaluated first). Code generators walk the
+// order through this to emit stage step functions in engine order.
+func (p *Place) Position() int { return p.pos }
 
 // Tokens returns the currently visible instruction tokens (oldest first).
 // The returned slice is owned by the place; callers must not mutate it.
@@ -168,6 +176,16 @@ type Transition struct {
 	hasRes  bool   // transition has reservation arcs
 }
 
+// ID returns the transition's dense creation index (also its identity in
+// trace Ops tables).
+func (t *Transition) ID() int { return t.id }
+
+// NeedsCapacity reports whether firing the transition consumes destination-
+// stage capacity (valid after Build): false for self-loops and for moves
+// into end/unlimited stages. Code generators use this to decide whether to
+// emit a latch-free check before the inlined guard.
+func (t *Transition) NeedsCapacity() bool { return t.needCap }
+
 // Token is an RCPN token. Instruction tokens carry the decoded instruction
 // in Data; reservation tokens are not Token values (they are per-place
 // counters, since they carry no data — §4).
@@ -185,6 +203,11 @@ type Token struct {
 	movedAt int64  // cycle of last firing (one move per cycle)
 	staged  bool   // sitting in a two-list staging buffer
 	seq     uint64 // trace identity, assigned at birth when tracing
+	// extState is the residency state of a token driven by a generated
+	// simulator, which keeps no Place structures at run time (internal/gen).
+	// -1 means unset; InState falls back to it only when place is nil, so
+	// the interpreted fast path is unchanged.
+	extState int
 }
 
 // Place returns the token's current place (nil after retirement or before
@@ -194,10 +217,20 @@ func (t *Token) Place() *Place { return t.place }
 // InState reports whether the token currently resides, visibly, in the place
 // with the given ID. Tokens staged in a two-list place are not yet visible —
 // this is exactly the beginning-of-cycle semantics feedback queries need.
-// It implements reg.StateQuerier.
+// It implements reg.StateQuerier. Tokens outside any net (generated
+// simulators keep no places at run time) answer from the state set with
+// SetExternalState.
 func (t *Token) InState(state int) bool {
-	return t.place != nil && t.place.id == state && !t.staged
+	if t.place != nil {
+		return t.place.id == state && !t.staged
+	}
+	return state >= 0 && t.extState == state
 }
+
+// SetExternalState records the residency state a generated simulator's
+// feedback queries should see for this token (-1 = none). It has no effect
+// on tokens living inside a net, where the place pointer wins.
+func (t *Token) SetExternalState(state int) { t.extState = state }
 
 // Ready reports whether the token's residency delay has elapsed.
 func (t *Token) Ready(now int64) bool { return t.readyAt <= now }
@@ -351,3 +384,6 @@ func (n *Net) Order() []*Place { return n.order }
 // TwoListPlaces returns the places using the two-list algorithm (after
 // Build).
 func (n *Net) TwoListPlaces() []*Place { return n.twoList }
+
+// Built reports whether Build has compiled the net.
+func (n *Net) Built() bool { return n.built }

@@ -464,7 +464,7 @@ func (p *Place) DrainReservations() {
 
 // NewToken returns a fresh instruction token of the given class and payload.
 func NewToken(class ClassID, data any) *Token {
-	return &Token{Class: class, Data: data, movedAt: -1, readyAt: -1}
+	return &Token{Class: class, Data: data, movedAt: -1, readyAt: -1, extState: -1}
 }
 
 // Recycle prepares a retired token for reuse by the simulator's token cache.
@@ -477,6 +477,7 @@ func (t *Token) Recycle(class ClassID, data any) {
 	t.movedAt = -1
 	t.staged = false
 	t.seq = 0
+	t.extState = -1
 }
 
 // TokenPool is a free list of instruction tokens. Retire callbacks put

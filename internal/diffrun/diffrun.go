@@ -117,9 +117,33 @@ func machineEngine(name string, mk func(p *arm.Program) (*machine.Machine, error
 // Engines returns the full registry: the ISS golden model, the functional
 // RCPN machine, the three generated cycle-accurate machines, the
 // hand-written five-stage pipeline and the SimpleScalar-like baseline.
-// Adding an engine here extends the conformance matrix and the fuzzer at
-// once.
+// Adding an engine here — or registering one with Register — extends the
+// conformance matrix and the fuzzer at once.
 func Engines() []Engine {
+	return append(builtinEngines(), registered...)
+}
+
+// registered holds engines added by Register, in registration order.
+var registered []Engine
+
+// Register adds an engine to the registry behind the built-in rows. It is
+// meant to be called from init functions (generated simulators register
+// themselves this way) so every diffrun consumer — the conformance matrix,
+// the fuzzer, the regression-kernel replayer — sweeps the engine with no
+// further wiring. Names must be unique across the whole registry.
+func Register(e Engine) {
+	if e.Name == "" || e.Build == nil {
+		panic("diffrun: Register: engine needs a name and a builder")
+	}
+	for _, have := range Engines() {
+		if have.Name == e.Name {
+			panic("diffrun: Register: duplicate engine name " + e.Name)
+		}
+	}
+	registered = append(registered, e)
+}
+
+func builtinEngines() []Engine {
 	return []Engine{
 		{Name: "iss", Build: func(p *arm.Program) (batch.CheckpointStepper, func() State, error) {
 			c := iss.New(p, 0)

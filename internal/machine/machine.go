@@ -95,6 +95,9 @@ type Machine struct {
 	entry     uint32
 	// flushScratch is reused across flushes so squashing allocates nothing.
 	flushScratch []*core.Token
+	// genFlush, when set (SetGenFlush), squashes young instructions out of a
+	// generated simulator's latches in place of the net walk.
+	genFlush func(youngerThan uint64) []*Inst
 
 	classNames []string
 }
@@ -306,6 +309,18 @@ func (m *Machine) poolGet(addr uint32) *Inst {
 // the whole pipeline behind a resolved control transfer.
 func (m *Machine) flushAfter(seq uint64, newPC uint32) {
 	m.Flushes++
+	if m.genFlush != nil {
+		for _, in := range m.genFlush(seq) {
+			in.releaseLocks()
+			in.SetState(-1)
+			if m.fetchHold == in {
+				m.fetchHold = nil
+			}
+			m.recycle(in)
+		}
+		m.pc = newPC
+		return
+	}
 	victims := m.flushScratch[:0]
 	for _, p := range m.Net.Places() {
 		p.ForEachToken(func(tok *core.Token) {
