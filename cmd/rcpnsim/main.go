@@ -6,7 +6,17 @@
 //
 //	rcpnsim [-sim strongarm|xscale|arm9|ssim|pipe5|func|iss] [-scale N]
 //	        [-profile] [-trace FILE] [-trace-events N] [-pipetrace N]
-//	        [-util] [-emit] [-json] (-bench name | file.s)
+//	        [-util] [-emit] [-json]
+//	        [-parallel N] [-parallel-mode exact|sampled] [-parallel-workers N]
+//	        [-parallel-check] (-bench name | file.s)
+//
+// -parallel N runs the job time-parallel (internal/tpar): an ISS leader
+// drops warmed checkpoints at N-1 drained instruction boundaries and the
+// segments simulate concurrently on any engine in the diffrun registry
+// (so -sim genpipe5 works here too). Exact mode stitches a result
+// byte-identical to the serial segmented run; sampled mode trades a
+// reported warmup error bound for speed. -parallel-check replays the
+// serial reference and fails on any mismatch.
 //
 // With -json the human-readable report is replaced by a one-job
 // rcpn-batch/v1 record on stdout — the same schema cmd/rcpnbatch and the
@@ -53,6 +63,10 @@ func main() {
 	traceEvents := flag.Int("trace-events", 1<<20, "trace ring capacity: the trace keeps the last N events")
 	util := flag.Bool("util", false, "print per-transition utilization (RCPN models)")
 	jsonOut := flag.Bool("json", false, "emit a one-job rcpn-batch/v1 JSON record instead of the text report")
+	parallel := flag.Int("parallel", 0, "time-parallel run: split into N segments simulated concurrently (internal/tpar; any diffrun engine incl. genpipe5)")
+	parallelMode := flag.String("parallel-mode", "exact", "time-parallel stitch mode: exact (byte-identical to serial) or sampled (warmup-biased, error bound reported)")
+	parallelWorkers := flag.Int("parallel-workers", 0, "concurrent segment workers for -parallel (0 = min(segments, GOMAXPROCS))")
+	parallelCheck := flag.Bool("parallel-check", false, "also run the serial segmented reference and fail unless the parallel result matches")
 	flag.Parse()
 
 	var (
@@ -78,6 +92,18 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+
+	if *parallel > 1 {
+		if *traceFile != "" || *pipetrace > 0 || *util {
+			fail(fmt.Errorf("-parallel is incompatible with -trace, -pipetrace and -util (segment rings cannot be stitched)"))
+		}
+		runParallel(p, parallelFlags{
+			segments: *parallel, mode: *parallelMode, workers: *parallelWorkers,
+			check: *parallelCheck, profile: *profile, jsonOut: *jsonOut,
+			emit: *emit, sim: *sim, bench: *bench, arg: flag.Arg(0),
+		})
+		return
 	}
 
 	// Observability attachments. Every simulator implements

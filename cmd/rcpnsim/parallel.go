@@ -1,0 +1,227 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"rcpn/internal/arm"
+	"rcpn/internal/batch"
+	"rcpn/internal/diffrun"
+	"rcpn/internal/obsv"
+	"rcpn/internal/tpar"
+)
+
+// parallelFlags is the -parallel* flag set handed over by main.
+type parallelFlags struct {
+	segments int
+	mode     string
+	workers  int
+	check    bool
+	profile  bool
+	jsonOut  bool
+	emit     bool
+	sim      string
+	bench    string
+	arg      string
+}
+
+// runParallel executes one program time-parallel (internal/tpar) on any
+// engine in the diffrun registry — generated engines included — and prints
+// the report. With -parallel-check it additionally runs the serial
+// segmented reference on the same plan and fails loudly unless the
+// stitched exact-mode result is identical (the CI smoke job's byte-compare).
+func runParallel(p *arm.Program, f parallelFlags) {
+	var engine *diffrun.Engine
+	for _, e := range diffrun.Engines() {
+		if e.Name == f.sim {
+			e := e
+			engine = &e
+			break
+		}
+	}
+	if engine == nil {
+		fail(fmt.Errorf("simulator %q is not in the engine registry (run -parallel with one of the diffrun engines)", f.sim))
+	}
+	mode, err := tpar.ParseMode(f.mode)
+	if err != nil {
+		fail(err)
+	}
+	opt := tpar.Options{
+		Segments: f.segments,
+		Workers:  f.workers,
+		Mode:     mode,
+		Warm:     tpar.DefaultWarm(f.sim),
+		Profile:  f.profile,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "rcpnsim: "+format+"\n", args...)
+		},
+	}
+	plan, err := tpar.NewPlan(p, opt)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	res, err := tpar.RunPlan(p, plan, tpar.EngineBuild(*engine, p), opt)
+	if err != nil {
+		fail(err)
+	}
+	wall := time.Since(start)
+
+	var ser *tpar.Result
+	var serWall time.Duration
+	if f.check {
+		serStart := time.Now()
+		ser, err = tpar.Serial(plan, tpar.EngineBuild(*engine, p), opt)
+		if err != nil {
+			fail(err)
+		}
+		serWall = time.Since(serStart)
+	}
+
+	if f.jsonOut {
+		wl := f.bench
+		if wl == "" {
+			wl = f.arg
+		}
+		extra := map[string]float64{
+			"segments": float64(res.Plan.Segments),
+			"workers":  float64(res.Workers),
+			"reruns":   float64(res.Reruns),
+			"adopted":  float64(res.Adopted),
+		}
+		if res.Mode == tpar.Sampled {
+			extra["err_bound_pct"] = res.ErrBoundPct
+		}
+		rep := &batch.Report{Workers: res.Workers, Wall: wall, Results: []batch.Result{{
+			Simulator: f.sim, Workload: wl,
+			Metrics: batch.Metrics{Cycles: res.Cycles, Instret: res.Instret,
+				Extra: extra, Stalls: res.Stalls},
+			Wall: wall,
+		}}}
+		data, jerr := rep.JSON(false)
+		if jerr != nil {
+			fail(jerr)
+		}
+		os.Stdout.Write(data)
+	} else {
+		printParallelReport(f, res, wall)
+	}
+
+	if f.check {
+		if err := checkAgainstSerial(res, ser); err != nil {
+			fail(fmt.Errorf("-parallel-check: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "rcpnsim: -parallel-check ok: parallel run identical to serial reference (serial %.2fs, parallel %.2fs, %.2fx)\n",
+			serWall.Seconds(), wall.Seconds(), serWall.Seconds()/wall.Seconds())
+	}
+}
+
+func printParallelReport(f parallelFlags, res *tpar.Result, wall time.Duration) {
+	fmt.Printf("simulator:      %s (time-parallel, %s mode)\n", f.sim, res.Mode)
+	fmt.Printf("segments:       %d x %d instructions (%d workers)\n",
+		res.Plan.Segments, res.Plan.Interval, res.Workers)
+	fmt.Printf("instructions:   %d\n", res.Instret)
+	if res.Cycles > 0 {
+		fmt.Printf("cycles:         %d\n", res.Cycles)
+		fmt.Printf("CPI:            %.3f\n", float64(res.Cycles)/float64(res.Instret))
+		fmt.Printf("sim speed:      %.2f Mcycles/s\n", float64(res.Cycles)/wall.Seconds()/1e6)
+	} else {
+		fmt.Printf("sim speed:      %.2f Minstr/s\n", float64(res.Instret)/wall.Seconds()/1e6)
+	}
+	fmt.Printf("stitch:         %d adopted, %d rerun, %d reassigned\n",
+		res.Adopted, res.Reruns, res.Reassigned)
+	if res.Mode == tpar.Sampled {
+		fmt.Printf("error bound:    %.3f%% (cycle-weighted warmup bias)\n", res.ErrBoundPct)
+	}
+	if res.State != nil {
+		fmt.Printf("exit code:      %d\n", res.State.Exit)
+		if len(res.State.Text) > 0 {
+			fmt.Printf("text output:    %q\n", res.State.Text)
+		}
+		if f.emit {
+			for i, w := range res.State.Output {
+				fmt.Printf("output[%d] = %#x (%d)\n", i, w, w)
+			}
+		} else if n := len(res.State.Output); n > 0 {
+			fmt.Printf("output words:   %d (run with -emit to print)\n", n)
+		}
+	}
+	fmt.Printf("%-4s %12s %12s %8s %7s %s\n", "seg", "start", "end", "cycles", "CPI", "notes")
+	for _, sg := range res.Segments {
+		cpi := ""
+		if n := sg.End - sg.Start; n > 0 && sg.Cycles > 0 {
+			cpi = fmt.Sprintf("%.3f", float64(sg.Cycles)/float64(n))
+		}
+		notes := ""
+		switch {
+		case sg.Rerun:
+			notes = "rerun"
+		case sg.Adopted:
+			notes = "adopted"
+		}
+		if sg.Exited {
+			notes += " exit"
+		}
+		if sg.Reassigned > 0 {
+			notes += fmt.Sprintf(" reassigned x%d", sg.Reassigned)
+		}
+		if sg.ErrBoundPct > 0 {
+			notes += fmt.Sprintf(" ±%.2f%%", sg.ErrBoundPct)
+		}
+		fmt.Printf("%-4d %12d %12d %8d %7s %s\n", sg.Index, sg.Start, sg.End, sg.Cycles, cpi, notes)
+	}
+	if res.Stalls != nil {
+		printStallSnapshot(res.Stalls)
+	}
+}
+
+// printStallSnapshot renders a merged snapshot through a fresh profile so
+// the text table matches the serial -profile output.
+func printStallSnapshot(snap *obsv.StallSnapshot) {
+	names := make([]string, len(snap.Stages))
+	for i := range snap.Stages {
+		names[i] = snap.Stages[i].Name
+	}
+	p := obsv.NewStallProfile(names...)
+	if err := p.Merge(snap); err == nil {
+		fmt.Print(p.Table())
+	}
+}
+
+// checkAgainstSerial compares the stitched parallel result with the serial
+// segmented reference: cycles, instructions, final state and stall profile
+// must all match (exact mode's contract; in sampled mode it reports the
+// achieved error instead of failing).
+func checkAgainstSerial(par, ser *tpar.Result) error {
+	if par.Mode == tpar.Sampled {
+		errPct := 100 * abs64(par.Cycles-ser.Cycles) / float64(ser.Cycles)
+		fmt.Fprintf(os.Stderr, "rcpnsim: sampled mode achieved %.3f%% cycle error (bound claimed %.3f%%) vs serial reference\n",
+			errPct, par.ErrBoundPct)
+		if !reflect.DeepEqual(par.State, ser.State) {
+			return fmt.Errorf("final architectural state differs from serial reference")
+		}
+		return nil
+	}
+	if par.Cycles != ser.Cycles {
+		return fmt.Errorf("cycles differ: parallel %d, serial %d", par.Cycles, ser.Cycles)
+	}
+	if par.Instret != ser.Instret {
+		return fmt.Errorf("instructions differ: parallel %d, serial %d", par.Instret, ser.Instret)
+	}
+	if !reflect.DeepEqual(par.State, ser.State) {
+		return fmt.Errorf("final architectural state differs")
+	}
+	if !reflect.DeepEqual(par.Stalls, ser.Stalls) {
+		return fmt.Errorf("stall profiles differ")
+	}
+	return nil
+}
+
+func abs64(x int64) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}

@@ -39,6 +39,13 @@ const (
 	// running job, with the retired-instruction count as the value; a panic
 	// rule here simulates a worker crash at retirement N.
 	SiteWorkerPanic = "worker.panic"
+	// SiteTparSegment is hit at the start of every time-parallel segment
+	// execution (speculative, re-run and reassigned alike), with the
+	// segment's starting retired-instruction count as the value. A panic
+	// rule here kills one segment worker mid-sweep; internal/tpar recovers
+	// by reassigning the segment to another worker, and the stitched result
+	// must stay byte-identical.
+	SiteTparSegment = "tpar.segment"
 )
 
 // Action is what a fired rule does.

@@ -19,6 +19,14 @@ func FuzzParseSpec(f *testing.F) {
 		`{ "simulator" : "PIPE5", "kernel" : "CRC", "scale" : 0 }`,
 		`{"simulator":"pipe5","kernel":"crc","config":{"bpred":"bimodal"}}`,
 		`{"simulator":"vax","kernel":"crc"}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":4}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":4,"parallel_mode":"sampled"}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":1,"parallel_mode":"EXACT"}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":-2}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":64}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":2,"checkpoint_interval":5000}`,
+		`{"simulator":"pipe5","kernel":"crc","parallelism":2,"trace_events":64}`,
+		`{"simulator":"iss","kernel":"crc","parallel_mode":"sampled"}`,
 		`{"simulator":"pipe5","kernel":"crc","checkpoint_interval":1}`,
 		`{"simulator":"pipe5","kernel":"crc","max_cycles":-1}`,
 		`{"simulator":"pipe5"}`,

@@ -497,6 +497,9 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	if build == nil {
 		build = func(spec *JobSpec) (batch.Stepper, error) { return spec.Build() }
 	}
+	if j.spec.Parallelism > 1 {
+		return s.executeParallel(ctx, j, build)
+	}
 	st, err := build(&j.spec)
 	if err != nil {
 		return batch.Metrics{}, err

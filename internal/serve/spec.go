@@ -88,8 +88,22 @@ type JobSpec struct {
 	// TraceEvents, when nonzero, attaches a bounded ring tracer of that
 	// many events; the Chrome trace_event JSON of the run's tail is served
 	// at GET /v1/jobs/{id}/trace.
-	TraceEvents int       `json:"trace_events,omitempty"`
-	Config      SimConfig `json:"config"`
+	TraceEvents int `json:"trace_events,omitempty"`
+	// Parallelism, when > 1, runs the job time-parallel (internal/tpar):
+	// the run is split into Parallelism segments at drained instruction
+	// boundaries and simulated concurrently from ISS-warmed checkpoints.
+	// The segment boundaries drain the pipeline and perturb cycle timing
+	// exactly as checkpoint_interval does, so the field is part of the
+	// content address; omitempty (with 1 normalized to 0) keeps every
+	// pre-existing address unchanged. The worker count is NOT part of the
+	// spec — the result is independent of it.
+	Parallelism int `json:"parallelism,omitempty"`
+	// ParallelMode selects the stitch discipline for parallel jobs:
+	// "" or "exact" (normalized to "", byte-identical to the serial
+	// segmented run) or "sampled" (warmup-biased segments accepted, CPI
+	// error bound reported in the result extras).
+	ParallelMode string    `json:"parallel_mode,omitempty"`
+	Config       SimConfig `json:"config"`
 }
 
 // simulators is the accepted Simulator set, matching cmd/rcpnsim's -sim.
@@ -112,6 +126,10 @@ const minCheckpointInterval = 1000
 // arbitrary server memory (26 bytes of ring per event plus the rendered
 // JSON).
 const maxTraceEvents = 1 << 20
+
+// maxParallelism bounds the requested segment count of a time-parallel
+// job; tpar clamps further to the program length.
+const maxParallelism = 16
 
 // SpecError is a request defect: the submission is rejected with 400 and
 // this message, and nothing is enqueued.
@@ -176,6 +194,32 @@ func (s *JobSpec) Normalize() error {
 	}
 	if s.TraceEvents > maxTraceEvents {
 		return specErrf("trace_events %d exceeds maximum %d", s.TraceEvents, maxTraceEvents)
+	}
+	s.ParallelMode = strings.ToLower(strings.TrimSpace(s.ParallelMode))
+	if s.ParallelMode == "exact" {
+		s.ParallelMode = "" // the default: keep the canonical form minimal
+	}
+	if s.Parallelism < 0 {
+		return specErrf("parallelism must be >= 0")
+	}
+	if s.Parallelism == 1 {
+		s.Parallelism = 0 // one segment is the serial run: canonicalize away
+	}
+	if s.Parallelism > maxParallelism {
+		return specErrf("parallelism %d exceeds maximum %d", s.Parallelism, maxParallelism)
+	}
+	if s.Parallelism > 1 {
+		if s.CheckpointInterval != 0 {
+			return specErrf("parallelism and checkpoint_interval are mutually exclusive (a time-parallel run has no single resumable frontier)")
+		}
+		if s.TraceEvents != 0 {
+			return specErrf("parallelism and trace_events are mutually exclusive (segment trace rings cannot be stitched into one tail)")
+		}
+	} else if s.ParallelMode != "" {
+		return specErrf("parallel_mode requires parallelism > 1")
+	}
+	if s.ParallelMode != "" && s.ParallelMode != "sampled" {
+		return specErrf("unknown parallel_mode %q (want exact or sampled)", s.ParallelMode)
 	}
 	if (s.Simulator == "func" || s.Simulator == "iss") && !s.Config.isZero() {
 		return specErrf("simulator %q is functional and takes no cache/bpred config", s.Simulator)

@@ -1,0 +1,336 @@
+package tpar
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"rcpn/internal/batch"
+	"rcpn/internal/diffrun"
+	"rcpn/internal/faultinj"
+	"rcpn/internal/workload"
+)
+
+func engineByName(t *testing.T, name string) diffrun.Engine {
+	t.Helper()
+	for _, e := range diffrun.Engines() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("engine %q not registered", name)
+	return diffrun.Engine{}
+}
+
+func TestPlanClampAndLogOnce(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	plan, err := NewPlan(p, Options{
+		Segments:   1 << 20, // absurd: must clamp to total/MinSegment
+		MinSegment: 2048,
+		Logf:       func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total == 0 {
+		t.Fatal("leader measured zero instructions")
+	}
+	if got, max := uint64(plan.Segments), plan.Total/2048; got > max {
+		t.Errorf("segments %d not clamped to %d (total %d)", got, max, plan.Total)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "clamped segments") {
+		t.Errorf("want exactly one clamp log line, got %q", logs)
+	}
+	if len(plan.Boundaries) != plan.Segments-1 {
+		t.Errorf("want %d boundaries, got %d", plan.Segments-1, len(plan.Boundaries))
+	}
+	for k, b := range plan.Boundaries {
+		if want := uint64(k+1) * plan.Interval; b != want {
+			t.Errorf("boundary %d = %d, want %d", k, b, want)
+		}
+		if b >= plan.Total {
+			t.Errorf("boundary %d = %d past total %d", k, b, plan.Total)
+		}
+	}
+}
+
+func TestWorkerClampLogOnce(t *testing.T) {
+	var logs []string
+	opt := Options{
+		Workers: 512,
+		Logf:    func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) },
+	}
+	w := clampWorkers(&opt, 3)
+	if w > 3 || w > runtime.GOMAXPROCS(0) || w < 1 {
+		t.Errorf("clampWorkers(512, 3) = %d", w)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "clamped workers") {
+		t.Errorf("want exactly one clamp log line, got %q", logs)
+	}
+}
+
+// TestWorkerCountInvariance is the graceful-degradation regression: the
+// stitched result must be identical whether the sweep runs wide, narrow,
+// or fully serial (the GOMAXPROCS=1 degenerate case), and none of those
+// may deadlock.
+func TestWorkerCountInvariance(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "pipe5")
+	base := Options{Segments: 4, Mode: Exact, Warm: DefaultWarm(e.Name),
+		MinSegment: 64, Profile: true}
+	plan, err := NewPlan(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*Result
+	for _, workers := range []int{1, 2, 16} {
+		opt := base
+		opt.Workers = workers
+		r, err := RunPlan(p, plan, EngineBuild(e, p), opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, r)
+	}
+	for i, r := range results[1:] {
+		r.Workers = results[0].Workers // the one field allowed to differ
+		r.Reassigned = results[0].Reassigned
+		if !reflect.DeepEqual(results[0], r) {
+			t.Errorf("result with more workers differs from serial degenerate case (case %d)", i+1)
+		}
+	}
+}
+
+// TestExactAdoptsFunctional: when the engine under simulation is the ISS
+// itself, the leader's checkpoints are exact, so every speculative segment
+// must be adopted with zero re-runs.
+func TestExactAdoptsFunctional(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "iss")
+	opt := Options{Segments: 4, Mode: Exact, MinSegment: 64}
+	r, err := Run(p, EngineBuild(e, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reruns != 0 {
+		t.Errorf("iss exact mode re-ran %d segments, want 0", r.Reruns)
+	}
+	if r.Adopted != r.Plan.Segments {
+		t.Errorf("adopted %d of %d segments", r.Adopted, r.Plan.Segments)
+	}
+	if r.Instret != r.Plan.Total {
+		t.Errorf("stitched instret %d, want plan total %d", r.Instret, r.Plan.Total)
+	}
+	if r.State == nil || r.State.Instret != r.Plan.Total {
+		t.Errorf("final state missing or wrong: %+v", r.State)
+	}
+}
+
+// TestExactMatchesSerial: the converged parallel chain must reproduce the
+// serial segmented reference byte-for-byte — state, cycles, stall profile.
+func TestExactMatchesSerial(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "pipe5")
+	opt := Options{Segments: 3, Mode: Exact, Warm: DefaultWarm(e.Name),
+		MinSegment: 64, Profile: true}
+	plan, err := NewPlan(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunPlan(p, plan, EngineBuild(e, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Serial(plan, EngineBuild(e, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cycles != ser.Cycles {
+		t.Errorf("cycles: parallel %d, serial %d", par.Cycles, ser.Cycles)
+	}
+	if par.Instret != ser.Instret {
+		t.Errorf("instret: parallel %d, serial %d", par.Instret, ser.Instret)
+	}
+	if !reflect.DeepEqual(par.State, ser.State) {
+		t.Errorf("final state differs:\n parallel %+v\n serial   %+v", par.State, ser.State)
+	}
+	if !reflect.DeepEqual(par.Stalls, ser.Stalls) {
+		t.Errorf("stall profiles differ:\n parallel %+v\n serial   %+v", par.Stalls, ser.Stalls)
+	}
+}
+
+// TestSampled: sampled mode accepts every segment and reports a
+// non-negative aggregate error bound; the stitched cycle count must land
+// near the serial reference (the bound is the claim, the reference the
+// check).
+func TestSampled(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "pipe5")
+	opt := Options{Segments: 4, Mode: Sampled, Warm: DefaultWarm(e.Name), MinSegment: 64}
+	plan, err := NewPlan(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunPlan(p, plan, EngineBuild(e, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Adopted != plan.Segments || r.Reruns != 0 {
+		t.Errorf("sampled mode: adopted %d reruns %d, want %d/0", r.Adopted, r.Reruns, plan.Segments)
+	}
+	if r.ErrBoundPct < 0 {
+		t.Errorf("negative error bound %f", r.ErrBoundPct)
+	}
+	ser, err := Serial(plan, EngineBuild(e, p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotErr := 100 * absF(float64(r.Cycles)-float64(ser.Cycles)) / float64(ser.Cycles)
+	if gotErr > 25 {
+		t.Errorf("sampled cycle error %.2f%% vs serial — warmup bias out of control", gotErr)
+	}
+	if r.State == nil || r.State.Exit != ser.State.Exit {
+		t.Errorf("sampled final state missing or wrong exit: %+v", r.State)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestKillReassign arms a panic rule at the tpar.segment site: the worker
+// running the last segment crashes, the pool recovers, the segment is
+// reassigned, and the stitched result is byte-identical to an unfaulted
+// run.
+func TestKillReassign(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "pipe5")
+	opt := Options{Segments: 3, Mode: Exact, Warm: DefaultWarm(e.Name),
+		MinSegment: 64, Profile: true}
+	plan, err := NewPlan(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunPlan(p, plan, EngineBuild(e, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fopt := opt
+	// Trigger on the last segment's starting instret: deterministic under
+	// any worker interleaving because the value identifies the segment.
+	fopt.Fault = faultinj.New(faultinj.Rule{
+		Site:    faultinj.SiteTparSegment,
+		AtValue: plan.Boundaries[len(plan.Boundaries)-1],
+		Action:  faultinj.ActPanic,
+	})
+	faulted, err := RunPlan(p, plan, EngineBuild(e, p), fopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Reassigned < 1 {
+		t.Fatalf("fault did not cause a reassignment (fired: %v)", fopt.Fault.Fired())
+	}
+	faulted.Reassigned = clean.Reassigned
+	for i := range faulted.Segments {
+		faulted.Segments[i].Reassigned = clean.Segments[i].Reassigned
+	}
+	if !reflect.DeepEqual(clean, faulted) {
+		t.Errorf("result after worker kill differs from clean run:\n clean   %+v\n faulted %+v", clean, faulted)
+	}
+}
+
+// TestKillOutOfRetries: a rule that keeps firing must surface as an error,
+// not a hang.
+func TestKillOutOfRetries(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "iss")
+	opt := Options{Segments: 2, Mode: Exact, MinSegment: 64,
+		Fault: faultinj.New(faultinj.Rule{
+			Site: faultinj.SiteTparSegment, Times: -1, Action: faultinj.ActPanic,
+		})}
+	if _, err := Run(p, EngineBuild(e, p), opt); err == nil {
+		t.Fatal("want error when every attempt crashes")
+	}
+}
+
+// TestStepper drives a parallel run through the batch.Stepper adapter and
+// checks the final numbers match a direct run.
+func TestStepper(t *testing.T) {
+	w := workload.ByName("crc")
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineByName(t, "pipe5")
+	opt := Options{Segments: 3, Mode: Exact, Warm: DefaultWarm(e.Name), MinSegment: 64}
+	plan, err := NewPlan(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunPlan(p, plan, EngineBuild(e, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewStepper(p, EngineBuild(e, p), opt)
+	var mu sync.Mutex
+	var lastC int64
+	var lastI uint64
+	err = batch.Drive(context.Background(), st, 0, 4096, func(c int64, i uint64) {
+		mu.Lock()
+		lastC, lastI = c, i
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != direct.Cycles || res.Instret != direct.Instret {
+		t.Errorf("stepper result (%d, %d) != direct (%d, %d)",
+			res.Cycles, res.Instret, direct.Cycles, direct.Instret)
+	}
+	if lastC != res.Cycles || lastI != res.Instret {
+		t.Errorf("final progress (%d, %d) did not snap to stitched (%d, %d)",
+			lastC, lastI, res.Cycles, res.Instret)
+	}
+}

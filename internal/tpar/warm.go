@@ -1,0 +1,32 @@
+package tpar
+
+import (
+	"rcpn/internal/bpred"
+	"rcpn/internal/iss"
+	"rcpn/internal/mem"
+)
+
+// DefaultWarm returns the leader warm-unit wiring matching the named
+// engine's default microarchitecture: the leader's warm caches and
+// predictor must share geometry with the segment workers or the restore
+// of a donor checkpoint fails. Functional engines (and unknown names)
+// get nil — cold checkpoints, always restorable.
+//
+// Jobs that override the cache hierarchy or predictor (internal/serve
+// specs) build their own warm function from the overridden config
+// instead of using this table.
+func DefaultWarm(engine string) func(c *iss.CPU) {
+	switch engine {
+	case "strongarm", "arm9", "pipe5", "ssim", "genpipe5":
+		return func(c *iss.CPU) {
+			h := mem.DefaultStrongARM()
+			c.WarmI, c.WarmD, c.WarmPred = h.I, h.D, bpred.NewNotTaken()
+		}
+	case "xscale":
+		return func(c *iss.CPU) {
+			h := mem.DefaultXScale()
+			c.WarmI, c.WarmD, c.WarmPred = h.I, h.D, bpred.NewBimodal(128)
+		}
+	}
+	return nil
+}
