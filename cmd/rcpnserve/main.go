@@ -11,7 +11,15 @@
 //	rcpnserve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-timeout 5m] [-drain 30s] [-maxcycles N]
 //	          [-data DIR] [-attempts N] [-retry-base 100ms] [-retry-max 5s]
+//	          [-coordinator ADDR] [-quota-rate R] [-quota-burst N]
 //	          [-faultinj PLAN] [-pprof ADDR]
+//
+// -coordinator turns the instance into a shard coordinator: it listens on
+// ADDR for rcpnworker connections and dispatches jobs onto the live-worker
+// ring (DESIGN.md §14). With zero connected workers it degrades to local
+// execution — same bytes, /healthz reports "degraded". -quota-rate and
+// -quota-burst arm per-tenant token-bucket admission (X-Tenant header;
+// refusals are 429 + Retry-After).
 //
 // API (see DESIGN.md §8–§10 and the README quickstart):
 //
@@ -37,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener's DefaultServeMux
 	"os"
@@ -46,6 +55,7 @@ import (
 
 	"rcpn/internal/faultinj"
 	"rcpn/internal/serve"
+	"rcpn/internal/shard"
 )
 
 func main() {
@@ -60,6 +70,9 @@ func main() {
 	attempts := flag.Int("attempts", 3, "max executions before a transiently failing job is poisoned")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff (doubles per attempt)")
 	retryMax := flag.Duration("retry-max", 5*time.Second, "retry backoff ceiling")
+	coordAddr := flag.String("coordinator", "", "listen for shard workers on this address (empty = single-process)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant submissions/second (0 = quotas off)")
+	quotaBurst := flag.Int("quota-burst", 0, "per-tenant burst size (0 = default when quotas are on)")
 	faultPlan := flag.String("faultinj", "", "deterministic fault-injection plan (testing only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
@@ -85,7 +98,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rcpnserve: fault injection armed: %s\n", *faultPlan)
 	}
 
-	srv, err := serve.New(serve.Config{
+	var coord *shard.Coordinator
+	if *coordAddr != "" {
+		ln, lerr := net.Listen("tcp", *coordAddr)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "rcpnserve:", lerr)
+			os.Exit(1)
+		}
+		coord = shard.NewCoordinator(shard.CoordinatorConfig{Fault: inj})
+		go func() {
+			if serr := coord.Serve(ln); serr != nil && !errors.Is(serr, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "rcpnserve: coordinator:", serr)
+			}
+		}()
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "rcpnserve: coordinating shard workers on %s\n", ln.Addr())
+	}
+
+	cfg := serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
@@ -95,8 +125,14 @@ func main() {
 		MaxAttempts:  *attempts,
 		RetryBase:    *retryBase,
 		RetryMax:     *retryMax,
+		QuotaRate:    *quotaRate,
+		QuotaBurst:   *quotaBurst,
 		Fault:        inj,
-	})
+	}
+	if coord != nil {
+		cfg.Dispatcher = coord
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rcpnserve:", err)
 		os.Exit(1)
@@ -114,6 +150,9 @@ func main() {
 		// the grace deadline) while the listener keeps serving GETs, so
 		// clients can still collect results; then close the listener.
 		srv.Drain(*drain)
+		if coord != nil {
+			coord.Close()
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(sctx) //nolint:errcheck // best-effort close

@@ -92,6 +92,13 @@ func (j *Job) label() string {
 	return s
 }
 
+// ErrTransient marks a job-body error as retryable infrastructure failure
+// rather than a property of the job itself: wrap it (fmt.Errorf with %w)
+// when the failure came from a lost worker, a dropped connection or any
+// other condition a re-run on healthy infrastructure would not reproduce.
+// runOne surfaces it as Result.Transient.
+var ErrTransient = errors.New("batch: transient failure")
+
 // Result is one finished job. Err is a string (not error) so the report
 // serializes; empty means success.
 type Result struct {
@@ -107,6 +114,11 @@ type Result struct {
 	// Canceled means the sweep's context was canceled before or while the
 	// job ran (drain path), as opposed to the job's own deadline expiring.
 	Canceled bool
+	// Transient means the body failed with ErrTransient in its chain: the
+	// job did not fail, its infrastructure did, and a retry is warranted.
+	// Never serialized into reports — it describes the attempt, not the
+	// result.
+	Transient bool
 }
 
 // Options configures a pool run.
@@ -259,6 +271,9 @@ func runOne(j *Job, parent context.Context, defTimeout time.Duration) Result {
 				r.TimedOut = true
 			case errors.Is(o.err, context.Canceled):
 				r.Canceled = true
+			}
+			if errors.Is(o.err, ErrTransient) {
+				r.Transient = true
 			}
 			r.Err = fmt.Sprintf("%s: %v", j.label(), o.err)
 		}

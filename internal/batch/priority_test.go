@@ -1,0 +1,156 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolPriorityPreference: with one worker held busy, a low-priority
+// job enqueued before a high-priority one must run after it — workers
+// prefer the high queue whenever it has work ready.
+func TestPoolPriorityPreference(t *testing.T) {
+	gate := make(chan struct{})
+	p := NewPool(8, Options{Workers: 1})
+	defer p.Close()
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func(ctx context.Context) (Metrics, error) {
+		return func(ctx context.Context) (Metrics, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return Metrics{}, nil
+		}
+	}
+
+	// Occupy the worker so later submissions queue up.
+	busy := make(chan struct{})
+	if err := p.TrySubmit(Job{Simulator: "t", Workload: "busy", Run: func(ctx context.Context) (Metrics, error) {
+		close(busy)
+		<-gate
+		return Metrics{}, nil
+	}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-busy
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	donefn := func(Result) { wg.Done() }
+	for i := 0; i < 2; i++ {
+		if err := p.TrySubmitPri(Job{Simulator: "t", Workload: "low", Run: record(fmt.Sprintf("low%d", i))}, PriLow, donefn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.TrySubmitPri(Job{Simulator: "t", Workload: "high", Run: record(fmt.Sprintf("high%d", i))}, PriHigh, donefn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := p.DepthPri(PriLow); d != 2 {
+		t.Fatalf("low depth = %d, want 2", d)
+	}
+	if d := p.DepthPri(PriHigh); d != 2 {
+		t.Fatalf("high depth = %d, want 2", d)
+	}
+	close(gate)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 4 || order[0] != "high0" || order[1] != "high1" {
+		t.Fatalf("execution order = %v, want both high jobs first", order)
+	}
+}
+
+// TestPoolPriorityLevelsDontShareCapacity: a flood filling the low queue
+// must not consume high-queue slots, and vice versa.
+func TestPoolPriorityLevelsDontShareCapacity(t *testing.T) {
+	p := NewPool(2, Options{Workers: 1})
+	defer p.Close()
+	// Declared after p so the deferred close runs first, releasing the
+	// busy worker before Close drains.
+	gate := make(chan struct{})
+	defer close(gate)
+
+	busy := make(chan struct{})
+	if err := p.TrySubmit(Job{Run: func(ctx context.Context) (Metrics, error) {
+		close(busy)
+		<-gate
+		return Metrics{}, nil
+	}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-busy
+
+	sleeper := Job{Run: func(ctx context.Context) (Metrics, error) { return Metrics{}, nil }}
+	for i := 0; i < 2; i++ {
+		if err := p.TrySubmitPri(sleeper, PriLow, nil); err != nil {
+			t.Fatalf("low submit %d: %v", i, err)
+		}
+	}
+	if err := p.TrySubmitPri(sleeper, PriLow, nil); err != ErrQueueFull {
+		t.Fatalf("low overflow = %v, want ErrQueueFull", err)
+	}
+	// The full low queue must not have eaten high capacity.
+	for i := 0; i < 2; i++ {
+		if err := p.TrySubmitPri(sleeper, PriHigh, nil); err != nil {
+			t.Fatalf("high submit %d with full low queue: %v", i, err)
+		}
+	}
+	if err := p.TrySubmitPri(sleeper, PriHigh, nil); err != ErrQueueFull {
+		t.Fatalf("high overflow = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestPoolCloseDrainsBothLevels: Close must run every queued job at both
+// levels before returning.
+func TestPoolCloseDrainsBothLevels(t *testing.T) {
+	p := NewPool(8, Options{Workers: 2})
+	var ran sync.Map
+	for i := 0; i < 4; i++ {
+		pri := PriHigh
+		if i%2 == 1 {
+			pri = PriLow
+		}
+		key := i
+		if err := p.TrySubmitPri(Job{Run: func(ctx context.Context) (Metrics, error) {
+			ran.Store(key, true)
+			return Metrics{}, nil
+		}}, pri, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	for i := 0; i < 4; i++ {
+		if _, ok := ran.Load(i); !ok {
+			t.Fatalf("queued job %d never ran before Close returned", i)
+		}
+	}
+	if err := p.TrySubmit(Job{}, nil); err != ErrPoolClosed {
+		t.Fatalf("submit after close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestTransientResult: a body error wrapping ErrTransient surfaces as
+// Result.Transient; a plain error does not.
+func TestTransientResult(t *testing.T) {
+	rep := Run([]Job{
+		{Simulator: "t", Workload: "a", Run: func(ctx context.Context) (Metrics, error) {
+			return Metrics{}, fmt.Errorf("worker lost: %w", ErrTransient)
+		}},
+		{Simulator: "t", Workload: "b", Run: func(ctx context.Context) (Metrics, error) {
+			return Metrics{}, fmt.Errorf("bad program")
+		}},
+	}, Options{Workers: 1, Timeout: 5 * time.Second})
+	if !rep.Results[0].Transient {
+		t.Errorf("ErrTransient-wrapped failure not marked Transient: %+v", rep.Results[0])
+	}
+	if rep.Results[1].Transient {
+		t.Errorf("plain failure marked Transient: %+v", rep.Results[1])
+	}
+}

@@ -46,6 +46,15 @@ const (
 	// by reassigning the segment to another worker, and the stitched result
 	// must stay byte-identical.
 	SiteTparSegment = "tpar.segment"
+	// SiteRPCDrop is hit before every RCPNRPC1 frame send on a
+	// coordinator↔worker connection. An error rule drops the frame on the
+	// floor (simulated loss — the stream stays framed, the peer just never
+	// sees the message), a corrupt rule flips a payload byte after the CRC
+	// is computed (the receiver detects the mismatch and tears the
+	// connection down), and a delay rule stalls the send. All three are how
+	// tests prove that frame loss, corruption and latency never change
+	// result bytes: the shard layer times out, evicts and reassigns.
+	SiteRPCDrop = "rpc.drop"
 )
 
 // Action is what a fired rule does.
@@ -60,6 +69,11 @@ const (
 	// ActDelay makes Hit sleep for Rule.Delay and then succeed
 	// (simulating slow I/O without failing it).
 	ActDelay
+	// ActCorrupt makes Hit return a *Fault whose Act is ActCorrupt. Only
+	// sites that know how to damage their payload honor it (the RPC frame
+	// writer flips a byte after computing the CRC); everywhere else it
+	// behaves exactly like ActError.
+	ActCorrupt
 )
 
 func (a Action) String() string {
@@ -70,6 +84,8 @@ func (a Action) String() string {
 		return "panic"
 	case ActDelay:
 		return "delay"
+	case ActCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("action(%d)", int(a))
 }
@@ -88,10 +104,13 @@ type Rule struct {
 	Delay   time.Duration
 }
 
-// Fault is the error an ActError rule injects.
+// Fault is the error an ActError or ActCorrupt rule injects. Act tells a
+// site that distinguishes the two (the RPC frame writer) which one fired;
+// callers that ignore it see both as plain injected errors.
 type Fault struct {
 	Site string
 	Msg  string
+	Act  Action
 }
 
 func (f *Fault) Error() string {
@@ -113,6 +132,7 @@ type Injector struct {
 	rules []*armedRule
 	hits  map[string]int
 	fired []string
+	rng   *rand.Rand
 }
 
 // New builds an injector with the given rules armed.
@@ -186,9 +206,30 @@ func (in *Injector) Hit(site string, value uint64) error {
 	case ActDelay:
 		time.Sleep(delay)
 		return nil
-	default:
-		return &Fault{Site: site, Msg: msg}
+	default: // ActError and ActCorrupt differ only in the Act the caller sees
+		return &Fault{Site: site, Msg: msg, Act: act}
 	}
+}
+
+// Rand63n draws a pseudo-random int64 in [0, n). An armed injector answers
+// from its own seeded stream (default seed 1; Seeded carries its seed
+// through), so anything randomized next to fault injection — retry jitter,
+// backoff spreads — replays identically in a test sweep. A nil injector
+// falls back to the global source: production jitter stays genuinely
+// random.
+func (in *Injector) Rand63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if in == nil {
+		return rand.Int63n(n)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng == nil {
+		in.rng = rand.New(rand.NewSource(1))
+	}
+	return in.rng.Int63n(n)
 }
 
 // Hits returns how many times site has been hit so far.
@@ -219,12 +260,13 @@ func (in *Injector) Fired() []string {
 //
 // #N fires on the Nth hit (default: first match), @V fires once the hit
 // value reaches V, *T allows T firings (-1 = unlimited). action is error,
-// panic or delay (delay requires arg as a Go duration; error/panic take an
-// optional message). Examples:
+// panic, corrupt or delay (delay requires arg as a Go duration; the others
+// take an optional message). Examples:
 //
 //	journal.append#2:error
 //	worker.panic@50000:panic=crash at 50k retirements
 //	ckpt.write*-1:delay=5ms
+//	rpc.drop#3:corrupt
 func Parse(spec string) (*Injector, error) {
 	in := New()
 	for _, part := range strings.Split(spec, ",") {
@@ -271,6 +313,8 @@ func Parse(spec string) (*Injector, error) {
 			r.Action, r.Msg = ActError, arg
 		case "panic":
 			r.Action, r.Msg = ActPanic, arg
+		case "corrupt":
+			r.Action, r.Msg = ActCorrupt, arg
 		case "delay":
 			d, err := time.ParseDuration(arg)
 			if err != nil || d < 0 {
@@ -294,6 +338,7 @@ func Seeded(seed int64, sites []string, n, maxHit int) *Injector {
 	sort.Strings(sites)
 	rng := rand.New(rand.NewSource(seed))
 	in := New()
+	in.rng = rng // Rand63n continues the same seeded stream
 	if len(sites) == 0 || n <= 0 {
 		return in
 	}

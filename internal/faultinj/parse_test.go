@@ -64,6 +64,11 @@ func TestParseAccepts(t *testing.T) {
 		"site*-1:error",
 		"site#2@100*4:error",
 		" a.b#1:error , c.d*2:delay=1us ",
+		"rpc.drop:error",
+		"rpc.drop#3:corrupt",
+		"rpc.drop:corrupt=flipped byte",
+		"rpc.drop*-1:delay=1us",
+		"site:corrupt",
 	} {
 		if _, err := Parse(spec); err != nil {
 			t.Errorf("Parse(%q): unexpected error: %v", spec, err)

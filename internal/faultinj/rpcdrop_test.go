@@ -1,0 +1,112 @@
+package faultinj
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRPCDropActions exercises the rpc.drop site across its three planned
+// actions: error (frame dropped), corrupt (frame damaged — the Fault must
+// carry ActCorrupt so the frame writer knows to flip a byte instead of
+// suppressing the send), and delay (frame stalled, no error).
+func TestRPCDropActions(t *testing.T) {
+	t.Run("error", func(t *testing.T) {
+		in, err := Parse("rpc.drop#2:error=lost frame")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Hit(SiteRPCDrop, 0); err != nil {
+			t.Fatalf("hit 1 fired early: %v", err)
+		}
+		err = in.Hit(SiteRPCDrop, 0)
+		var f *Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("hit 2 = %v, want *Fault", err)
+		}
+		if f.Act != ActError || f.Site != SiteRPCDrop || f.Msg != "lost frame" {
+			t.Fatalf("fault = %+v, want error action at rpc.drop", f)
+		}
+		if err := in.Hit(SiteRPCDrop, 0); err != nil {
+			t.Fatalf("hit 3 fired after the rule disarmed: %v", err)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		in, err := Parse("rpc.drop:corrupt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f *Fault
+		if err := in.Hit(SiteRPCDrop, 0); !errors.As(err, &f) {
+			t.Fatalf("hit = %v, want *Fault", err)
+		}
+		if f.Act != ActCorrupt {
+			t.Fatalf("fault action = %v, want corrupt", f.Act)
+		}
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		in, err := Parse("rpc.drop:delay=10ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := in.Hit(SiteRPCDrop, 0); err != nil {
+			t.Fatalf("delay action returned error: %v", err)
+		}
+		if d := time.Since(start); d < 10*time.Millisecond {
+			t.Fatalf("delay slept %v, want >= 10ms", d)
+		}
+	})
+
+	t.Run("unlimited corrupt", func(t *testing.T) {
+		in, err := Parse("rpc.drop*-1:corrupt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			var f *Fault
+			if err := in.Hit(SiteRPCDrop, 0); !errors.As(err, &f) || f.Act != ActCorrupt {
+				t.Fatalf("hit %d = %v, want corrupt fault", i+1, err)
+			}
+		}
+	})
+}
+
+// TestActionStrings pins the Fired() log vocabulary, including the new
+// corrupt verb.
+func TestActionStrings(t *testing.T) {
+	for act, want := range map[Action]string{
+		ActError: "error", ActPanic: "panic", ActDelay: "delay", ActCorrupt: "corrupt",
+	} {
+		if got := act.String(); got != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(act), got, want)
+		}
+	}
+}
+
+// TestRand63n: an armed injector's jitter stream is deterministic — two
+// injectors built the same way draw the same sequence — while a nil
+// injector still works (global source).
+func TestRand63n(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 16; i++ {
+		if x, y := a.Rand63n(1000), b.Rand63n(1000); x != y {
+			t.Fatalf("draw %d: %d != %d (default streams diverge)", i, x, y)
+		}
+	}
+	s1, s2 := Seeded(42, []string{"x"}, 1, 4), Seeded(42, []string{"x"}, 1, 4)
+	for i := 0; i < 16; i++ {
+		if x, y := s1.Rand63n(1<<30), s2.Rand63n(1<<30); x != y {
+			t.Fatalf("seeded draw %d: %d != %d", i, x, y)
+		}
+	}
+	var nilInj *Injector
+	if v := nilInj.Rand63n(10); v < 0 || v >= 10 {
+		t.Fatalf("nil injector draw %d out of range", v)
+	}
+	if v := nilInj.Rand63n(0); v != 0 {
+		t.Fatalf("Rand63n(0) = %d, want 0", v)
+	}
+}

@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rcpn/internal/faultinj"
+)
+
+// Conn wraps a net.Conn with RCPNRPC1 framing, per-operation deadlines and
+// the rpc.drop fault site. Send is safe for concurrent use; Recv must be
+// called from one goroutine (the usual reader-loop shape).
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	// ReadTimeout bounds how long Recv waits for the next frame; it is the
+	// liveness deadline (heartbeats must arrive faster than this). 0 means
+	// block forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each Send. 0 means block forever.
+	WriteTimeout time.Duration
+
+	inj *faultinj.Injector
+
+	wmu sync.Mutex
+}
+
+// NewConn wraps c. inj may be nil (no fault injection).
+func NewConn(c net.Conn, inj *faultinj.Injector) *Conn {
+	return &Conn{c: c, br: bufio.NewReaderSize(c, 64<<10), inj: inj}
+}
+
+// Handshake performs this side's half of the preamble: write our magic and
+// hello, then read and verify the peer's. Symmetric, so both sides call it
+// concurrently with their own hello.
+func (c *Conn) Handshake(hello Hello, timeout time.Duration) (Hello, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	c.c.SetDeadline(deadline) //nolint:errcheck // net.Conn deadlines don't fail
+	defer c.c.SetDeadline(time.Time{})
+	if err := WriteMagic(c.c); err != nil {
+		return Hello{}, err
+	}
+	if err := WriteFrame(c.c, Encode(hello)); err != nil {
+		return Hello{}, err
+	}
+	if err := ReadMagic(c.br); err != nil {
+		return Hello{}, err
+	}
+	payload, err := ReadFrame(c.br)
+	if err != nil {
+		return Hello{}, err
+	}
+	m, err := DecodeMsg(payload)
+	if err != nil {
+		return Hello{}, err
+	}
+	peer, ok := m.(Hello)
+	if !ok {
+		return Hello{}, fmt.Errorf("rpc: handshake got %T, want hello", m)
+	}
+	if peer.Version != Version {
+		return Hello{}, fmt.Errorf("rpc: protocol version %d, want %d", peer.Version, Version)
+	}
+	return peer, nil
+}
+
+// Send frames and writes one message. The rpc.drop fault site fires before
+// the write: an error rule silently drops the frame (the peer simply never
+// sees it — simulated loss), a corrupt rule flips one payload byte after
+// the CRC is computed (the peer detects the mismatch and poisons the
+// connection), a delay rule stalls the send.
+func (c *Conn) Send(m Msg) error {
+	buf := AppendFrame(nil, Encode(m))
+	if err := c.inj.Hit(faultinj.SiteRPCDrop, 0); err != nil {
+		var f *faultinj.Fault
+		if errors.As(err, &f) && f.Act == faultinj.ActCorrupt {
+			// Flip a bit mid-payload, past the varint length so the frame
+			// boundary survives and the CRC is what catches it.
+			buf[len(buf)/2] ^= 0x40
+		} else {
+			return nil // dropped on the floor: the bytes never leave this host
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.WriteTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.WriteTimeout)) //nolint:errcheck // net.Conn deadlines don't fail
+	}
+	_, err := c.c.Write(buf)
+	return err
+}
+
+// Recv reads and decodes the next message, waiting at most ReadTimeout.
+func (c *Conn) Recv() (Msg, error) {
+	if c.ReadTimeout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.ReadTimeout)) //nolint:errcheck // net.Conn deadlines don't fail
+	}
+	payload, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMsg(payload)
+}
+
+// Close closes the underlying connection. Safe to call more than once and
+// from any goroutine; a blocked Recv or Send unblocks with an error.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer for logs.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }

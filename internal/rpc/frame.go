@@ -1,0 +1,175 @@
+// Package rpc is the RCPNRPC1 wire protocol between the shard coordinator
+// and its workers: length-prefixed binary frames over a byte stream, each
+// carrying one versioned message (hello, submit, progress, result, error,
+// ping, pong).
+//
+// Framing is deliberately minimal and self-checking:
+//
+//	uvarint payload length | payload | u32 LE IEEE CRC-32 of payload
+//
+// The varint length keeps small control frames small (a ping is 4 bytes of
+// payload framed in 6), the trailing CRC detects corruption before any
+// payload byte is trusted, and a hard length cap bounds what a damaged or
+// hostile peer can make the reader allocate. There is no resynchronization:
+// a frame that fails any check poisons the connection, and the caller's
+// recovery is the shard layer's — tear the connection down, evict the
+// worker, reassign its jobs. Crash-only, like the rest of the stack.
+//
+// Messages reuse the repository's mask-and-varint house style (RCPNTRC1,
+// RCPNCKPT): a one-byte kind, then fields as uvarints/zig-zag varints and
+// length-prefixed strings. Every message carries no wall-clock and no
+// worker identity beyond the hello, so nothing on the wire can leak
+// host-dependent bytes into a result.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic is the 8-byte stream preamble each side sends once, before its
+// hello frame, so a misdirected connection fails fast and loudly.
+var Magic = [8]byte{'R', 'C', 'P', 'N', 'R', 'P', 'C', '1'}
+
+// Version is the protocol version carried in the hello exchange.
+const Version = 1
+
+// MaxFrame bounds a frame payload. Specs are capped near 1 MiB and result
+// payloads are one-job JSON reports plus an optional trace; 16 MiB is
+// generous without letting a bad length prefix allocate the host away.
+const MaxFrame = 16 << 20
+
+// Framing errors. Receivers treat every one of them as fatal for the
+// connection.
+var (
+	// ErrFrameTooLarge: the length prefix exceeds MaxFrame.
+	ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
+	// ErrFrameCRC: the payload does not match its trailing CRC.
+	ErrFrameCRC = errors.New("rpc: frame CRC mismatch")
+	// ErrFrameTruncated: the buffer or stream ended inside a frame.
+	ErrFrameTruncated = errors.New("rpc: truncated frame")
+	// ErrFrameLength: the length prefix is not minimally encoded. The
+	// writer only ever emits canonical varints, so a padded one is
+	// corruption the CRC cannot catch (the length is outside it).
+	ErrFrameLength = errors.New("rpc: non-canonical frame length")
+)
+
+// Dispatcher-level sentinels. They live here because both the serve layer
+// (which reacts to them) and the shard layer (which returns them) need
+// them without importing each other.
+var (
+	// ErrNoWorkers: the worker ring is empty; the server should execute
+	// locally.
+	ErrNoWorkers = errors.New("rpc: no live workers")
+	// ErrPermanent wraps a worker-reported deterministic failure that
+	// produced no payload; retrying on another worker would fail the
+	// same way, so the server fails the job instead of re-dispatching.
+	ErrPermanent = errors.New("rpc: permanent job failure")
+)
+
+// AppendFrame appends one frame carrying payload to dst and returns the
+// extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// DecodeFrame parses one frame from the front of data, returning the
+// payload and the total encoded size. The payload aliases data — copy it
+// if it must outlive the buffer.
+func DecodeFrame(data []byte) (payload []byte, n int, err error) {
+	ln, vn := binary.Uvarint(data)
+	switch {
+	case vn == 0:
+		return nil, 0, ErrFrameTruncated
+	case vn < 0:
+		return nil, 0, ErrFrameTooLarge // uvarint overflow: absurd length
+	case vn > 1 && data[vn-1] == 0:
+		return nil, 0, ErrFrameLength // padded varint: corruption
+	case ln > MaxFrame:
+		return nil, 0, ErrFrameTooLarge
+	}
+	total := vn + int(ln) + 4
+	if len(data) < total {
+		return nil, 0, ErrFrameTruncated
+	}
+	payload = data[vn : vn+int(ln)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[vn+int(ln):]) {
+		return nil, 0, ErrFrameCRC
+	}
+	return payload, total, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, len(payload)+16), payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r. io.EOF is returned clean only at a
+// frame boundary; an EOF inside a frame is ErrFrameTruncated.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	// Read the length varint byte-by-byte so the same canonicality rule
+	// as DecodeFrame applies: a padded varint is corruption, not a length.
+	var ln uint64
+	for i, shift := 0, 0; ; i, shift = i+1, shift+7 {
+		b, err := r.ReadByte()
+		if err != nil {
+			if i == 0 && err == io.EOF {
+				return nil, io.EOF // clean EOF only at a frame boundary
+			}
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, ErrFrameTruncated
+			}
+			return nil, err
+		}
+		if i > 0 && b == 0 {
+			return nil, ErrFrameLength
+		}
+		if shift >= 63 && b > 1 {
+			return nil, ErrFrameTooLarge // uvarint overflow
+		}
+		ln |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if ln > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, int(ln)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrFrameTruncated
+		}
+		return nil, err
+	}
+	payload := buf[:ln]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[ln:]) {
+		return nil, ErrFrameCRC
+	}
+	return payload, nil
+}
+
+// WriteMagic / ReadMagic implement the one-shot stream preamble.
+func WriteMagic(w io.Writer) error {
+	_, err := w.Write(Magic[:])
+	return err
+}
+
+func ReadMagic(r io.Reader) error {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return fmt.Errorf("rpc: reading stream magic: %w", err)
+	}
+	if got != Magic {
+		return fmt.Errorf("rpc: bad stream magic %q", got[:])
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameRoundTrip: AppendFrame → DecodeFrame and AppendFrame →
+// ReadFrame are identities over a spread of payload sizes, including
+// empty, and frames concatenate cleanly.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		{0},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xa5}, 127),
+		bytes.Repeat([]byte{0x5a}, 128), // varint length rolls to 2 bytes
+		bytes.Repeat([]byte("rcpn"), 64<<10),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	rest := stream
+	for i, want := range payloads {
+		got, n, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload %q, want %q", i, got, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after all frames", len(rest))
+	}
+
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range payloads {
+		got, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReadFrame %d: payload mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("ReadFrame at stream end = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncatedTail: every strict prefix of a valid frame fails with
+// ErrFrameTruncated — never a bogus success, never a crash.
+func TestFrameTruncatedTail(t *testing.T) {
+	frame := AppendFrame(nil, []byte("truncate me at every byte"))
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeFrame(frame[:cut]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("DecodeFrame(frame[:%d]) = %v, want ErrFrameTruncated", cut, err)
+		}
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame[:cut]))); err == nil {
+			t.Fatalf("ReadFrame(frame[:%d]) succeeded", cut)
+		}
+	}
+}
+
+// TestFrameBadCRC: flipping any payload or CRC byte is detected.
+func TestFrameBadCRC(t *testing.T) {
+	frame := AppendFrame(nil, []byte("checksummed payload"))
+	for i := 1; i < len(frame); i++ { // byte 0 is the length varint
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x01
+		if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("flip byte %d: DecodeFrame = %v, want ErrFrameCRC", i, err)
+		}
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad))); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("flip byte %d: ReadFrame = %v, want ErrFrameCRC", i, err)
+		}
+	}
+}
+
+// TestFrameOversizedLength: a length prefix beyond MaxFrame is rejected
+// before any allocation, both for in-buffer decode and stream reads.
+func TestFrameOversizedLength(t *testing.T) {
+	huge := binary.AppendUvarint(nil, MaxFrame+1)
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("DecodeFrame = %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame = %v, want ErrFrameTooLarge", err)
+	}
+	// uvarint overflow (11 bytes of 0xff) must also be rejected.
+	overflow := bytes.Repeat([]byte{0xff}, 11)
+	if _, _, err := DecodeFrame(overflow); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("DecodeFrame(overflow varint) = %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(overflow))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame(overflow varint) = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestFrameNonCanonicalLength: a zero-padded length varint is corruption
+// (the length byte is outside the CRC) and must be rejected, not decoded.
+func TestFrameNonCanonicalLength(t *testing.T) {
+	// 0x80 0x00 encodes length 0 in two bytes; the canonical form is one.
+	padded := append([]byte{0x80, 0x00}, 0, 0, 0, 0) // + CRC32(“”) is 0x00000000
+	if _, _, err := DecodeFrame(padded); !errors.Is(err, ErrFrameLength) {
+		t.Fatalf("DecodeFrame(padded varint) = %v, want ErrFrameLength", err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(padded))); !errors.Is(err, ErrFrameLength) {
+		t.Fatalf("ReadFrame(padded varint) = %v, want ErrFrameLength", err)
+	}
+}
+
+// FuzzDecodeFrame: DecodeFrame must never panic, never claim more bytes
+// than it was given, and on success must round-trip through AppendFrame.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, nil))
+	f.Add(AppendFrame(nil, []byte("seed payload")))
+	f.Add(AppendFrame(nil, Encode(Ping{Seq: 7})))
+	f.Add(AppendFrame(nil, Encode(Submit{ID: "abc", Spec: []byte(`{"simulator":"pipe5"}`)})))
+	f.Add(AppendFrame(AppendFrame(nil, []byte("two")), []byte("frames")))
+	f.Add(binary.AppendUvarint(nil, MaxFrame+1))
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+	corrupted := AppendFrame(nil, []byte("about to corrupt"))
+	corrupted[len(corrupted)/2] ^= 0x40
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeFrame claimed %d of %d bytes", n, len(data))
+		}
+		re := AppendFrame(nil, payload)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:n])
+		}
+		// A decodable payload must also never panic the message parser.
+		DecodeMsg(payload) //nolint:errcheck // only panics matter here
+	})
+}

@@ -1,0 +1,262 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Message kinds: the first payload byte of every frame.
+const (
+	kindHello byte = iota + 1
+	kindSubmit
+	kindProgress
+	kindResult
+	kindError
+	kindPing
+	kindPong
+)
+
+// Msg is one protocol message. Concrete types below; Encode/DecodeMsg
+// convert to and from frame payloads.
+type Msg interface {
+	kind() byte
+	enc(e *enc)
+}
+
+// Hello opens a connection, both directions: the worker announces itself,
+// the coordinator acknowledges. A version mismatch is fatal — there is no
+// negotiation, both sides are built from the same tree.
+type Hello struct {
+	Version uint32
+	// Node names the worker for logs and the ring ("" in the
+	// coordinator's reply).
+	Node string
+	// Slots is the worker's concurrent job capacity (0 in the reply).
+	Slots uint32
+}
+
+func (Hello) kind() byte { return kindHello }
+func (m Hello) enc(e *enc) {
+	e.u64(uint64(m.Version))
+	e.str(m.Node)
+	e.u64(uint64(m.Slots))
+}
+
+// Submit dispatches one job: the content address and the canonical spec
+// bytes it addresses. Everything a worker needs is in the spec — no
+// worker-side policy can change the result bytes.
+type Submit struct {
+	ID   string
+	Spec []byte
+}
+
+func (Submit) kind() byte { return kindSubmit }
+func (m Submit) enc(e *enc) {
+	e.str(m.ID)
+	e.bytes(m.Spec)
+}
+
+// Progress reports a running job's live counters. Advisory: it feeds SSE
+// streams and refreshes the dispatch idle deadline, and never enters a
+// result.
+type Progress struct {
+	ID      string
+	Cycles  int64
+	Instret uint64
+}
+
+func (Progress) kind() byte { return kindProgress }
+func (m Progress) enc(e *enc) {
+	e.str(m.ID)
+	e.i64(m.Cycles)
+	e.u64(m.Instret)
+}
+
+// Result delivers a terminal outcome: the deterministic one-job
+// rcpn-batch/v1 payload (byte-identical to what a local run of the same
+// spec would produce), the final counters, and — for traced jobs — the
+// rendered Chrome trace JSON.
+type Result struct {
+	ID string
+	// Failed marks a deterministic, permanent job failure (the payload
+	// still carries the diagnostic report).
+	Failed  bool
+	Cycles  int64
+	Instret uint64
+	Payload []byte
+	Trace   []byte
+}
+
+func (Result) kind() byte { return kindResult }
+func (m Result) enc(e *enc) {
+	e.str(m.ID)
+	e.bool(m.Failed)
+	e.i64(m.Cycles)
+	e.u64(m.Instret)
+	e.bytes(m.Payload)
+	e.bytes(m.Trace)
+}
+
+// JobError reports that an attempt failed without a result. Transient
+// failures (worker overload, panic, timeout) are the coordinator's to
+// retry — the worker never retries on its own, keeping retry policy out of
+// the result path entirely.
+type JobError struct {
+	ID        string
+	Msg       string
+	Transient bool
+}
+
+func (JobError) kind() byte { return kindError }
+func (m JobError) enc(e *enc) {
+	e.str(m.ID)
+	e.str(m.Msg)
+	e.bool(m.Transient)
+}
+
+// Ping / Pong are the liveness heartbeat. Workers ping on an interval;
+// the coordinator pongs. Either side treats a quiet connection as dead
+// once its read deadline expires.
+type Ping struct{ Seq uint64 }
+
+func (Ping) kind() byte   { return kindPing }
+func (m Ping) enc(e *enc) { e.u64(m.Seq) }
+
+type Pong struct{ Seq uint64 }
+
+func (Pong) kind() byte   { return kindPong }
+func (m Pong) enc(e *enc) { e.u64(m.Seq) }
+
+// Encode renders a message as a frame payload.
+func Encode(m Msg) []byte {
+	e := &enc{b: make([]byte, 0, 64)}
+	e.b = append(e.b, m.kind())
+	m.enc(e)
+	return e.b
+}
+
+// DecodeMsg parses a frame payload back into its message. Unknown kinds
+// and malformed fields are errors — the connection is poisoned, exactly as
+// for a CRC failure.
+func DecodeMsg(payload []byte) (Msg, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("rpc: empty message")
+	}
+	d := &dec{b: payload[1:]}
+	var m Msg
+	switch payload[0] {
+	case kindHello:
+		m = Hello{Version: uint32(d.u64()), Node: d.str(), Slots: uint32(d.u64())}
+	case kindSubmit:
+		m = Submit{ID: d.str(), Spec: d.bytes()}
+	case kindProgress:
+		m = Progress{ID: d.str(), Cycles: d.i64(), Instret: d.u64()}
+	case kindResult:
+		m = Result{ID: d.str(), Failed: d.bool(), Cycles: d.i64(),
+			Instret: d.u64(), Payload: d.bytes(), Trace: d.bytes()}
+	case kindError:
+		m = JobError{ID: d.str(), Msg: d.str(), Transient: d.bool()}
+	case kindPing:
+		m = Ping{Seq: d.u64()}
+	case kindPong:
+		m = Pong{Seq: d.u64()}
+	default:
+		return nil, fmt.Errorf("rpc: unknown message kind %d", payload[0])
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("rpc: malformed %T: %w", m, d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("rpc: %T carries %d trailing bytes", m, len(d.b))
+	}
+	return m, nil
+}
+
+// ---- field codec (mask-and-varint house style) -----------------------------
+
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *enc) bytes(p []byte) {
+	e.b = binary.AppendUvarint(e.b, uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *enc) str(s string) {
+	e.b = binary.AppendUvarint(e.b, uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s field", what)
+	}
+	d.b = nil
+}
+
+func (d *dec) u64() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) i64() int64 {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) bool() bool {
+	if len(d.b) < 1 {
+		d.fail("bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		if d.err == nil {
+			d.err = fmt.Errorf("bool field value %d", v)
+		}
+		return false
+	}
+	return v == 1
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }

@@ -1,110 +1,17 @@
 package serve
 
 import (
-	"context"
-	"fmt"
-
-	"rcpn/internal/batch"
 	"rcpn/internal/bpred"
-	"rcpn/internal/diffrun"
 	"rcpn/internal/iss"
 	"rcpn/internal/mem"
 	"rcpn/internal/tpar"
 )
 
-// executeParallel runs a parallelism > 1 job through internal/tpar,
-// wrapped in a tpar.Stepper so the ordinary batch.Drive progress loop —
-// and with it SSE streams, /v1/jobs polling and the durable result path —
-// works unchanged. The stitched result is a pure function of the spec:
-// segment count and stitch mode are in the content address, worker count
-// and injected crashes are not and must not show in the result bytes.
-func (s *Server) executeParallel(ctx context.Context, j *job, build func(*JobSpec) (batch.Stepper, error)) (batch.Metrics, error) {
-	p, err := j.spec.program()
-	if err != nil {
-		return batch.Metrics{}, err
-	}
-	mode, err := tpar.ParseMode(j.spec.ParallelMode)
-	if err != nil {
-		return batch.Metrics{}, err
-	}
-	warm, err := j.spec.warm()
-	if err != nil {
-		return batch.Metrics{}, err
-	}
-	segBuild := func() (batch.CheckpointStepper, func() diffrun.State, error) {
-		st, err := build(&j.spec)
-		if err != nil {
-			return nil, nil, err
-		}
-		cs, ok := st.(batch.CheckpointStepper)
-		if !ok {
-			return nil, nil, fmt.Errorf("simulator %q cannot run time-parallel: no checkpoint support", j.spec.Simulator)
-		}
-		return cs, nil, nil
-	}
-	cap := j.spec.MaxCycles
-	if cap <= 0 {
-		cap = s.cfg.MaxCycles
-	}
-	opt := tpar.Options{
-		Segments: j.spec.Parallelism,
-		Workers:  j.spec.Parallelism,
-		Mode:     mode,
-		Warm:     warm,
-		// max_cycles bounds each segment worker's position (a runaway
-		// segment is what a hang looks like here); the serial-equivalent
-		// total is bounded by Parallelism times this.
-		PosBudget: cap,
-		Chunk:     s.cfg.Chunk,
-		Context:   ctx,
-		Profile:   j.spec.Profile,
-		Fault:     s.cfg.Fault,
-		Logf: func(format string, args ...any) {
-			s.logf("serve: job %s "+format, append([]any{shortID(j.id)}, args...)...)
-		},
-	}
-	st := tpar.NewStepper(p, segBuild, opt)
-	err = batch.Drive(ctx, st, 0, s.cfg.Chunk, func(c int64, i uint64) {
-		j.cycles.Store(c)
-		j.instret.Store(i)
-	})
-	if err != nil {
-		return batch.Metrics{}, err
-	}
-	res, err := st.Result()
-	if err != nil {
-		return batch.Metrics{}, err
-	}
-	m := batch.Metrics{
-		Cycles:  res.Cycles,
-		Instret: res.Instret,
-		Stalls:  res.Stalls,
-		// Host- and fault-independent extras only: worker and reassignment
-		// counts vary run to run and would break cached-result
-		// byte-identity.
-		Extra: map[string]float64{
-			"segments": float64(res.Plan.Segments),
-			"reruns":   float64(res.Reruns),
-			"adopted":  float64(res.Adopted),
-		},
-	}
-	if res.Mode == tpar.Sampled {
-		m.Extra["err_bound_pct"] = res.ErrBoundPct
-	}
-	j.cycles.Store(res.Cycles)
-	j.instret.Store(res.Instret)
-	if res.Stalls != nil {
-		j.mu.Lock()
-		j.stalls = res.Stalls
-		j.mu.Unlock()
-	}
-	return m, nil
-}
-
 // warm builds the leader warm-unit wiring for a parallel job: the spec's
 // cache/predictor overrides where present, the simulator's defaults where
 // not — the leader must warm units with the exact geometry the segment
 // workers restore into. Functional simulators take cold (nil) warm state.
+// The execution itself lives in runParallel (executor.go).
 func (s *JobSpec) warm() (func(c *iss.CPU), error) {
 	switch s.Simulator {
 	case "func", "iss":

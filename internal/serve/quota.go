@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is the per-tenant token-bucket admission limiter. Each tenant's
+// bucket refills at rate tokens/second up to burst; a submission spends
+// one token. It sits in front of the queue-depth backpressure: the queue
+// bounds the server's total exposure, the buckets bound any one tenant's
+// share of it.
+type quotas struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu sync.Mutex
+	b  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the bucket map. Past it, tenants that have fully
+// refilled are forgotten — forgetting a full bucket is lossless, a new
+// bucket starts full.
+const maxTenants = 4096
+
+func newQuotas(rate float64, burst int) *quotas {
+	return &quotas{rate: rate, burst: float64(burst), b: make(map[string]*bucket)}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty it
+// refuses and reports how long until a whole token has refilled — the
+// Retry-After the handler advertises.
+func (q *quotas) allow(tenant string, now time.Time) (ok bool, wait time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	bk := q.b[tenant]
+	if bk == nil {
+		if len(q.b) >= maxTenants {
+			q.prune(now)
+		}
+		bk = &bucket{tokens: q.burst, last: now}
+		q.b[tenant] = bk
+	} else {
+		bk.tokens += now.Sub(bk.last).Seconds() * q.rate
+		if bk.tokens > q.burst {
+			bk.tokens = q.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / q.rate * float64(time.Second))
+}
+
+// prune drops buckets that have refilled by now; callers hold q.mu. If
+// every tenant is actively draining its bucket the map keeps them all —
+// they are exactly the state the limiter exists to hold.
+func (q *quotas) prune(now time.Time) {
+	for t, bk := range q.b {
+		if bk.tokens+now.Sub(bk.last).Seconds()*q.rate >= q.burst {
+			delete(q.b, t)
+		}
+	}
+}

@@ -7,19 +7,35 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rcpn/internal/batch"
-	"rcpn/internal/ckpt"
 	"rcpn/internal/faultinj"
 	"rcpn/internal/obsv"
+	"rcpn/internal/rpc"
 	"rcpn/internal/store"
 )
+
+// Dispatcher routes a job to a remote worker. The serve layer defines the
+// interface (internal/shard implements it) so it can stay ignorant of
+// rings, heartbeats and RPC connections: it hands over a content address
+// and canonical spec bytes, gets back either the worker's terminal result
+// — byte-identical to a local run by construction — or an error.
+// rpc.ErrNoWorkers means the ring is empty and the server should execute
+// locally; any other error is transient and re-enters the server's
+// ordinary retry machinery, whose next attempt re-dispatches against the
+// (by then rebalanced) ring.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, id string, spec []byte,
+		progress func(cycles int64, instret uint64)) (*rpc.Result, error)
+	// Live is the current live-worker count, for /healthz and metrics.
+	Live() int
+}
 
 // Config sizes the service.
 type Config struct {
@@ -62,6 +78,19 @@ type Config struct {
 	Fault *faultinj.Injector
 	// Logf receives durability and recovery log lines (default: stderr).
 	Logf func(format string, args ...any)
+
+	// Dispatcher, when set, runs jobs on remote shard workers instead of
+	// the local pool, falling back to local execution while no worker is
+	// live (logged once; /healthz reports "degraded"). Nil: always local.
+	Dispatcher Dispatcher
+	// QuotaRate > 0 arms per-tenant admission quotas: each tenant (the
+	// X-Tenant request header; "anonymous" when absent) accrues this many
+	// submissions per second up to QuotaBurst, and an exhausted bucket
+	// answers 429 with a Retry-After estimating when a token will be back.
+	QuotaRate float64
+	// QuotaBurst is the per-tenant bucket size (default 10 when QuotaRate
+	// is set).
+	QuotaBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax <= 0 {
 		c.RetryMax = 5 * time.Second
 	}
+	if c.QuotaRate > 0 && c.QuotaBurst <= 0 {
+		c.QuotaBurst = 10
+	}
 	return c
 }
 
@@ -107,6 +139,9 @@ const (
 type job struct {
 	id   string
 	spec JobSpec
+	// pri is the queue level chosen at submission (X-Priority header);
+	// retries keep it.
+	pri batch.Priority
 
 	// live progress, written by the worker at every Drive chunk.
 	cycles    atomic.Int64
@@ -135,6 +170,11 @@ type job struct {
 	// trace is the rendered Chrome trace_event JSON, set when a traced job
 	// reaches a terminal state; served by GET /v1/jobs/{id}/trace.
 	trace []byte
+	// remote is the result payload a shard worker rendered for this job.
+	// When set, finalize installs it verbatim instead of rendering
+	// locally — the worker already produced the exact bytes a local run
+	// would have.
+	remote []byte
 
 	done chan struct{} // closed on completion
 }
@@ -166,6 +206,11 @@ type Server struct {
 	// degraded flips once when a durability write fails at runtime; the
 	// server logs it, reports it on /healthz, and continues memory-only.
 	degraded atomic.Bool
+	// fellBack guards the one-time "no live workers, running locally" log
+	// line of a coordinator whose ring has gone empty.
+	fellBack atomic.Bool
+	// quota is the per-tenant admission limiter; nil when QuotaRate is 0.
+	quota *quotas
 
 	// buildOverride, when set (tests), replaces JobSpec.Build.
 	buildOverride func(*JobSpec) (batch.Stepper, error)
@@ -181,12 +226,18 @@ type Server struct {
 	coalesced atomic.Int64
 	rejFull   atomic.Int64
 	rejBad    atomic.Int64
-	cycles    atomic.Int64 // cumulative simulated cycles
-	retries   atomic.Int64
-	resumes   atomic.Int64
-	poisoned  atomic.Int64
-	recovered atomic.Int64
-	sseActive atomic.Int64
+	rejQuota  atomic.Int64
+	// shard-mode counters: jobs run remotely, transient dispatch
+	// failures, and jobs served locally because the ring was empty.
+	dispatched    atomic.Int64
+	dispatchErrs  atomic.Int64
+	fallbackLocal atomic.Int64
+	cycles        atomic.Int64 // cumulative simulated cycles
+	retries       atomic.Int64
+	resumes       atomic.Int64
+	poisoned      atomic.Int64
+	recovered     atomic.Int64
+	sseActive     atomic.Int64
 
 	// simRate distributes finished jobs' simulation rates (Mcycles/s of
 	// wall time); exposed as a histogram on /v1/metrics.
@@ -206,6 +257,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:    make(map[string]*job),
 		cache:   newLRU(cfg.CacheEntries),
 		simRate: obsv.NewHistogram(0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
+	}
+	if cfg.QuotaRate > 0 {
+		s.quota = newQuotas(cfg.QuotaRate, cfg.QuotaBurst)
 	}
 	s.logf = cfg.Logf
 	if s.logf == nil {
@@ -354,7 +408,10 @@ func (s *Server) drop(id string) {
 
 // backoff computes the retry delay for the given completed attempt count:
 // exponential from RetryBase, capped at RetryMax, with half-width jitter so
-// synchronized retries spread out.
+// synchronized retries spread out. The jitter draws from the injector's
+// seeded stream when fault injection is armed, so a faultinj run replays
+// the same retry schedule every time; a nil/unarmed injector falls back to
+// the global RNG.
 func (s *Server) backoff(attempt int) time.Duration {
 	d := s.cfg.RetryBase
 	for i := 1; i < attempt && d < s.cfg.RetryMax; i++ {
@@ -363,7 +420,7 @@ func (s *Server) backoff(attempt int) time.Duration {
 	if d > s.cfg.RetryMax {
 		d = s.cfg.RetryMax
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(s.cfg.Fault.Rand63n(int64(d/2)+1))
 }
 
 // shortID abbreviates a content address for logs.
@@ -388,6 +445,25 @@ type submitResponse struct {
 const retryAfterDrain = "5"
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Quota gate first: an exhausted tenant is refused before the server
+	// spends parsing or hashing on its request. The Retry-After estimates
+	// when the bucket next has a whole token.
+	if s.quota != nil {
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "anonymous"
+		}
+		if ok, wait := s.quota.allow(tenant, time.Now()); !ok {
+			s.rejQuota.Add(1)
+			secs := int(wait / time.Second)
+			if wait%time.Second != 0 || secs < 1 {
+				secs++ // round up; never advise an immediate retry
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "tenant quota exhausted"})
+			return
+		}
+	}
 	spec, err := ParseSpec(r.Body)
 	if err != nil {
 		s.rejBad.Add(1)
@@ -395,6 +471,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := spec.ID()
+	// X-Priority: "low" (or "batch") routes the job to the bulk queue
+	// level, which workers drain only when no interactive job is waiting.
+	// The priority is scheduling-only: it is not part of the content
+	// address and cannot change result bytes.
+	pri := batch.PriHigh
+	switch r.Header.Get("X-Priority") {
+	case "low", "batch":
+		pri = batch.PriLow
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -425,7 +510,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// replayed: drop the old record and fall through to a fresh enqueue.
 		delete(s.jobs, id)
 	}
-	j := &job{id: id, spec: *spec, state: StateQueued, done: make(chan struct{})}
+	j := &job{id: id, spec: *spec, pri: pri, state: StateQueued, done: make(chan struct{})}
 	err = s.enqueue(j)
 	switch err {
 	case nil:
@@ -455,9 +540,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: StateQueued})
 }
 
-// enqueue hands the job to the worker pool.
+// enqueue hands the job to the worker pool at its submission priority.
 func (s *Server) enqueue(j *job) error {
-	return s.pool.TrySubmit(batch.Job{
+	return s.pool.TrySubmitPri(batch.Job{
 		Simulator: j.spec.Simulator,
 		Workload:  j.spec.WorkloadLabel(),
 		Config:    j.spec.ConfigLabel(),
@@ -472,13 +557,15 @@ func (s *Server) enqueue(j *job) error {
 			j.mu.Unlock()
 			return batch.Metrics{Cycles: j.cycles.Load(), Instret: j.instret.Load(), Stalls: stalls}
 		},
-	}, func(res batch.Result) { s.finish(j, res) })
+	}, j.pri, func(res batch.Result) { s.finish(j, res) })
 }
 
 // ---- execution ------------------------------------------------------------
 
 // execute is the job body, run on a pool worker under the server's hard
-// context and the per-job deadline. Checkpointing jobs (spec sets
+// context and the per-job deadline. With a Dispatcher configured the job
+// runs on a remote shard worker (falling back to local execution while the
+// ring is empty); locally, checkpointing jobs (spec sets
 // checkpoint_interval) run under DriveCkpt and, when a checkpoint exists —
 // in memory from an earlier attempt, or on disk from a previous process —
 // restore it and resume instead of restarting.
@@ -486,6 +573,7 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.attempts++
+	j.remote = nil // a retry may run locally; never keep a stale override
 	j.mu.Unlock()
 	j.startNano.Store(time.Now().UnixNano())
 	s.queued.Add(-1)
@@ -493,138 +581,103 @@ func (s *Server) execute(ctx context.Context, j *job) (batch.Metrics, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
+	if s.cfg.Dispatcher != nil {
+		if m, err, handled := s.executeRemote(ctx, j); handled {
+			return m, err
+		}
+	}
+
 	build := s.buildOverride
 	if build == nil {
 		build = func(spec *JobSpec) (batch.Stepper, error) { return spec.Build() }
 	}
-	if j.spec.Parallelism > 1 {
-		return s.executeParallel(ctx, j, build)
-	}
-	st, err := build(&j.spec)
-	if err != nil {
-		return batch.Metrics{}, err
-	}
-	var prof *obsv.StallProfile
-	var tr *obsv.Tracer
-	if ins, ok := st.(obsv.Instrumentable); ok {
-		if j.spec.Profile {
-			prof = ins.EnableProfile()
-		}
-		if j.spec.TraceEvents > 0 {
-			tr = obsv.NewTracer(j.spec.TraceEvents)
-			ins.AttachTrace(tr)
-		}
-	}
-	cap := j.spec.MaxCycles
-	if cap <= 0 {
-		cap = s.cfg.MaxCycles
-	}
-	onProgress := func(c int64, i uint64) {
-		j.cycles.Store(c)
-		j.instret.Store(i)
-		if prof != nil {
-			// Chunk-boundary snapshot: what a crashed attempt salvages.
-			// Called on the job goroutine between chunks, so the profile is
-			// quiescent here.
-			snap := prof.Snapshot()
+	env := execEnv{
+		build:     build,
+		maxCycles: s.cfg.MaxCycles,
+		chunk:     s.cfg.Chunk,
+		fault:     s.cfg.Fault,
+		logf:      func(format string, args ...any) { s.logf("serve: "+format, args...) },
+		name:      shortID(j.id),
+		progress: func(c int64, i uint64) {
+			j.cycles.Store(c)
+			j.instret.Store(i)
+		},
+		stalls: func(snap *obsv.StallSnapshot) {
 			j.mu.Lock()
 			j.stalls = snap
 			j.mu.Unlock()
-		}
-	}
-	// finished packages the terminal measurements: the final stall snapshot
-	// rides in the metrics (and into the report), the rendered trace is kept
-	// on the job for GET /v1/jobs/{id}/trace.
-	finished := func(c int64, i uint64) batch.Metrics {
-		m := batch.Metrics{Cycles: c, Instret: i}
-		if prof != nil {
-			m.Stalls = prof.Snapshot()
+		},
+		trace: func(b []byte) {
 			j.mu.Lock()
-			j.stalls = m.Stalls
+			j.trace = b
 			j.mu.Unlock()
-		}
-		if tr != nil {
-			var buf bytes.Buffer
-			if werr := tr.WriteChromeJSON(&buf); werr == nil {
-				j.mu.Lock()
-				j.trace = buf.Bytes()
-				j.mu.Unlock()
-			}
-		}
-		return m
-	}
-
-	if cs, ok := st.(batch.CheckpointStepper); ok && j.spec.CheckpointInterval > 0 {
-		driver := batch.CheckpointStepper(cs)
-		if raw, instret, cycles, found := s.loadCheckpoint(j); found {
-			snap, raw := obsv.SplitStalls(raw)
-			switch ck, cerr := ckpt.FromBytes(raw); {
-			case cerr != nil:
-				s.discardCheckpoint(j, fmt.Sprintf("checkpoint does not decode: %v", cerr))
-			default:
-				if rerr := cs.Restore(ck); rerr != nil {
-					s.discardCheckpoint(j, fmt.Sprintf("checkpoint does not restore: %v", rerr))
-				} else {
-					if prof != nil {
-						if merr := prof.Merge(snap); merr != nil {
-							// The finished profile will only cover the resumed
-							// portion; the run itself is unaffected.
-							s.logf("serve: job %s checkpoint stall accounting unusable: %v",
-								shortID(j.id), merr)
-						}
-					}
-					driver = batch.Resumed(cs, cycles)
-					onProgress(cycles, instret)
-					s.resumes.Add(1)
-					s.logf("serve: job %s resuming from checkpoint at %d retired instructions",
-						shortID(j.id), instret)
+		},
+		loadCkpt: func() ([]byte, uint64, int64, bool) { return s.loadCheckpoint(j) },
+		// saveCkpt persists each checkpoint to the job's in-memory slot
+		// (same-process retries) and to the store when durable;
+		// persistence failures degrade the server rather than fail the
+		// job.
+		saveCkpt: func(instret uint64, cycles int64, raw []byte) {
+			j.mu.Lock()
+			j.ckInstret, j.ckCycles, j.ckRaw = instret, cycles, raw
+			j.mu.Unlock()
+			if s.durable() {
+				if err := s.store.WriteCheckpoint(j.id, instret, cycles, raw); err != nil {
+					s.degrade(err)
 				}
 			}
-		}
-		err = batch.DriveCkpt(ctx, driver, cap, s.cfg.Chunk, j.spec.CheckpointInterval,
-			s.checkpointSink(j, prof), onProgress)
-		c, i := driver.Progress()
-		onProgress(c, i)
-		return finished(c, i), err
+		},
+		discardCkpt: func(why string) { s.discardCheckpoint(j, why) },
+		onResume:    func() { s.resumes.Add(1) },
 	}
-
-	err = batch.Drive(ctx, st, cap, s.cfg.Chunk, onProgress)
-	c, i := st.Progress()
-	onProgress(c, i)
-	return finished(c, i), err
+	return runSpec(ctx, &j.spec, env)
 }
 
-// checkpointSink persists each periodic checkpoint: always to the job's
-// in-memory slot (same-process retries), and to the store when durable.
-// Persistence failures degrade the server rather than fail the job. The
-// worker.panic fault site fires first — before the checkpoint is saved —
-// so an injected crash loses the current boundary exactly like a real one.
-func (s *Server) checkpointSink(j *job, prof *obsv.StallProfile) batch.CheckpointSink {
-	return func(instret uint64, cycles int64, ck *ckpt.Checkpoint) error {
-		if err := s.cfg.Fault.Hit(faultinj.SiteWorkerPanic, instret); err != nil {
-			return err
-		}
-		raw, err := ck.Bytes()
-		if err != nil {
-			s.logf("serve: job %s checkpoint did not encode (skipped): %v", shortID(j.id), err)
-			return nil
-		}
-		if prof != nil {
-			// The sink runs on the job goroutine at a drained boundary, so
-			// the profile is quiescent and describes exactly this boundary.
-			// Checkpointing the accounting along with the architected state
-			// is what keeps resumed profiled results byte-identical.
-			raw = obsv.WrapStalls(prof.Snapshot(), raw)
-		}
+// executeRemote tries the job on the shard ring. handled is false only for
+// rpc.ErrNoWorkers — the caller then executes locally (degraded mode,
+// logged once). A worker result installs its payload on the job, so
+// finalize serves the exact bytes the worker rendered; a transient
+// dispatch failure (worker died, frames lost, ring churn) comes back as a
+// batch.ErrTransient-wrapped error, which the retry machinery re-runs with
+// backoff — by then the ring has evicted the dead worker and the job
+// hashes somewhere live.
+func (s *Server) executeRemote(ctx context.Context, j *job) (_ batch.Metrics, _ error, handled bool) {
+	res, err := s.cfg.Dispatcher.Dispatch(ctx, j.id, j.spec.Canonical(),
+		func(c int64, i uint64) {
+			j.cycles.Store(c)
+			j.instret.Store(i)
+		})
+	switch {
+	case err == nil:
+		s.dispatched.Add(1)
 		j.mu.Lock()
-		j.ckInstret, j.ckCycles, j.ckRaw = instret, cycles, raw
-		j.mu.Unlock()
-		if s.durable() {
-			if err := s.store.WriteCheckpoint(j.id, instret, cycles, raw); err != nil {
-				s.degrade(err)
-			}
+		j.remote = res.Payload
+		if len(res.Trace) > 0 {
+			j.trace = res.Trace
 		}
-		return nil
+		j.mu.Unlock()
+		j.cycles.Store(res.Cycles)
+		j.instret.Store(res.Instret)
+		m := batch.Metrics{Cycles: res.Cycles, Instret: res.Instret}
+		if res.Failed {
+			// The worker's payload is the diagnostic report and wins in
+			// finalize; the error here only drives the job to StateFailed.
+			return m, errors.New("remote worker reported a terminal failure"), true
+		}
+		return m, nil, true
+	case errors.Is(err, rpc.ErrNoWorkers):
+		s.fallbackLocal.Add(1)
+		if s.fellBack.CompareAndSwap(false, true) {
+			s.logf("serve: no live shard workers; executing locally in degraded mode")
+		}
+		return batch.Metrics{}, nil, false
+	case errors.Is(err, rpc.ErrPermanent):
+		// Deterministic worker-side failure: re-dispatching would fail
+		// identically, so fail the job now (non-transient).
+		return batch.Metrics{}, err, true
+	default:
+		s.dispatchErrs.Add(1)
+		return batch.Metrics{}, fmt.Errorf("%w: dispatch %s: %v", batch.ErrTransient, shortID(j.id), err), true
 	}
 }
 
@@ -675,7 +728,10 @@ func (s *Server) finish(j *job, res batch.Result) {
 		s.simRate.Observe(float64(res.Cycles) / 1e6 / wall.Seconds())
 	}
 
-	transient := res.TimedOut || res.Canceled || res.Panicked
+	// res.Transient covers failures the body itself knows to be
+	// retryable — a lost shard worker, a dropped dispatch — on top of the
+	// pool-level timeout/cancel/panic outcomes.
+	transient := res.TimedOut || res.Canceled || res.Panicked || res.Transient
 	if res.Err != "" && transient {
 		s.mu.Lock()
 		draining := s.draining
@@ -732,10 +788,22 @@ func (s *Server) retry(j *job, res batch.Result, attempt int) {
 // persisted: the durable record stays "pending", so a restart re-runs the
 // job from its last checkpoint.
 func (s *Server) finalize(j *job, res batch.Result, transient bool) {
-	rep := &batch.Report{Results: []batch.Result{res}}
-	payload, err := rep.JSON(false)
-	if err != nil { // cannot happen for plain data; keep the job terminal anyway
-		payload = []byte(fmt.Sprintf(`{"schema":%q,"jobs":[{"error":%q}]}`, batch.Schema, err))
+	j.mu.Lock()
+	remote := j.remote
+	j.mu.Unlock()
+	var payload []byte
+	if remote != nil {
+		// A shard worker already rendered this job's report through the
+		// same executor and report path; installing its bytes verbatim is
+		// what "byte-identical failover" means.
+		payload = remote
+	} else {
+		rep := &batch.Report{Results: []batch.Result{res}}
+		var err error
+		payload, err = rep.JSON(false)
+		if err != nil { // cannot happen for plain data; keep the job terminal anyway
+			payload = []byte(fmt.Sprintf(`{"schema":%q,"jobs":[{"error":%q}]}`, batch.Schema, err))
+		}
 	}
 	state := StateDone
 	if res.Err != "" {
@@ -878,6 +946,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
 		return
 	}
+	if d := s.cfg.Dispatcher; d != nil && d.Live() == 0 {
+		// A coordinator with an empty ring still serves every request by
+		// executing locally; degraded, not down.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -914,7 +988,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obsv.ContentType)
 	m := obsv.NewMetricsWriter(w)
 	m.Gauge("rcpn_queue_depth", "Jobs admitted but not yet claimed by a worker.", float64(s.pool.Depth()), nil)
-	m.Gauge("rcpn_queue_cap", "Capacity of the admission queue.", float64(s.pool.Cap()), nil)
+	m.MultiGauge("rcpn_queue_depth_by_priority", "Jobs waiting at each priority level.", []obsv.LabeledValue{
+		{Labels: map[string]string{"priority": "high"}, Value: float64(s.pool.DepthPri(batch.PriHigh))},
+		{Labels: map[string]string{"priority": "low"}, Value: float64(s.pool.DepthPri(batch.PriLow))},
+	})
+	m.Gauge("rcpn_queue_cap", "Per-level capacity of the admission queue.", float64(s.pool.Cap()), nil)
 	m.Gauge("rcpn_workers", "Size of the simulation worker pool.", float64(s.pool.Workers()), nil)
 	m.Gauge("rcpn_inflight_workers", "Workers currently executing a job body.", float64(s.inflight.Load()), nil)
 	m.MultiGauge("rcpn_jobs", "Jobs currently in a non-terminal state, by state.", []obsv.LabeledValue{
@@ -939,7 +1017,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Gauge("rcpn_quarantined_checkpoints", "Damaged durable artifacts set aside at recovery or restore.", float64(quarantined), nil)
 	m.Gauge("rcpn_sse_subscribers", "Open /v1/jobs/{id}/events streams.", float64(s.sseActive.Load()), nil)
 	m.Counter("rcpn_rejected_queue_full_total", "Submissions rejected with 429 because the queue was full.", float64(s.rejFull.Load()), nil)
+	m.Counter("rcpn_rejected_quota_total", "Submissions rejected with 429 by a tenant quota.", float64(s.rejQuota.Load()), nil)
 	m.Counter("rcpn_rejected_invalid_total", "Submissions rejected with 400 at validation.", float64(s.rejBad.Load()), nil)
+	if d := s.cfg.Dispatcher; d != nil {
+		m.Gauge("rcpn_shard_workers", "Live workers on the coordinator's ring.", float64(d.Live()), nil)
+		m.Counter("rcpn_shard_dispatched_total", "Jobs completed on a remote shard worker.", float64(s.dispatched.Load()), nil)
+		m.Counter("rcpn_shard_dispatch_errors_total", "Transient dispatch failures re-entered into retry.", float64(s.dispatchErrs.Load()), nil)
+		m.Counter("rcpn_shard_local_fallback_total", "Job executions served locally because no worker was live.", float64(s.fallbackLocal.Load()), nil)
+	}
 	m.Counter("rcpn_simulated_cycles_total", "Cumulative simulated cycles across all finished attempts.", float64(s.cycles.Load()), nil)
 	m.Gauge("rcpn_draining", "1 while the server is draining for shutdown.", b01(draining), nil)
 	m.HistogramMetric("rcpn_job_mcycles_per_sec", "Simulation rate of successfully finished jobs (simulated Mcycles per wall second).", s.simRate)
