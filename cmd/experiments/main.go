@@ -335,7 +335,7 @@ func sweep(scale int) {
 			accesses += m.DCache.Stats.Accesses()
 			for _, pl := range m.Net.Places() {
 				if pl.Name == "FD" {
-					fdStalls += pl.Stalls
+					fdStalls += pl.Stalls()
 				}
 			}
 		}

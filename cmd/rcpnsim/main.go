@@ -166,8 +166,8 @@ func main() {
 			fmt.Printf("branch pred:    %.2f%% (%d lookups)\n",
 				100*m.Pred.Stats().Accuracy(), m.Pred.Stats().Lookups)
 			for _, pl := range m.Net.Places() {
-				if pl.Stalls > 0 {
-					fmt.Printf("stalls at %-4s  %d\n", pl.Name+":", pl.Stalls)
+				if pl.Stalls() > 0 {
+					fmt.Printf("stalls at %-4s  %d\n", pl.Name+":", pl.Stalls())
 				}
 			}
 		}

@@ -95,19 +95,32 @@ type Place struct {
 	staged []*Token        // arrivals pending promotion (TwoList only)
 	out    [][]*Transition // per-class sorted transition lists (compiled)
 
+	// meta and stagedMeta mirror tokens and staged index-for-index with
+	// the fields the cycle loop scans — readiness cycle and class: the
+	// struct-of-arrays half of the token hot path. The engine walks these
+	// dense slices and dereferences a *Token only once it is actually
+	// going to probe transitions for it (engine.go). Both fields are
+	// written exactly once per residency (deliver), so the mirrors are
+	// coherent by construction.
+	meta       []tokMeta
+	stagedMeta []tokMeta
+
 	// Event-driven scheduling state (see engine.go).
 	pos        int  // index in the reverse topological order (set by Build)
 	inPromoteQ bool // queued for two-list promotion at next cycle start
 
 	reservations int // visible reservation tokens
-
-	// Stalls counts token-cycles in which a resident instruction token had
-	// no enabled output transition.
-	Stalls uint64
 }
 
 // ID returns the place's dense index, usable as a reg.StateQuerier state.
 func (p *Place) ID() int { return p.id }
+
+// Stalls returns the token-cycles in which a resident instruction token had
+// no enabled output transition. The counters of all places live in one
+// dense net-owned slice indexed by place id — the same index space the
+// engine's other per-place state uses — so the stall-path increment
+// touches a flat array instead of scattered Place structs.
+func (p *Place) Stalls() uint64 { return p.net.stalls[p.id] }
 
 // Position returns the place's slot in the reverse topological evaluation
 // order (valid after Build; 0 is evaluated first). Code generators walk the
@@ -131,6 +144,14 @@ func (p *Place) ForEachToken(f func(*Token)) {
 
 // Reservations returns the visible reservation-token count.
 func (p *Place) Reservations() int { return p.reservations }
+
+// tokMeta is one slot of a place's struct-of-arrays token mirror: the
+// residency-entry deadline and the class, the only token fields the cycle
+// loop needs before committing to fire.
+type tokMeta struct {
+	ready int64
+	cls   ClassID
+}
 
 // Transition is the functionality executed when an instruction moves between
 // two places (or is produced, for source transitions of the instruction-
@@ -202,6 +223,8 @@ type Token struct {
 	readyAt int64  // first cycle output transitions may consider the token
 	movedAt int64  // cycle of last firing (one move per cycle)
 	staged  bool   // sitting in a two-list staging buffer
+	pooled  bool   // sitting in a free list (double-put guard)
+	idx     int32  // arena slot index; -1 when not arena-allocated
 	seq     uint64 // trace identity, assigned at birth when tracing
 	// extState is the residency state of a token driven by a generated
 	// simulator, which keeps no Place structures at run time (internal/gen).
@@ -272,6 +295,11 @@ type Net struct {
 	wheel      [][]int32         // wakeup wheel of positions, cycle & wheelMask
 	farWake    map[int64][]int32 // wakeups beyond the wheel horizon
 
+	// stalls holds every place's stall counter, indexed by place id: the
+	// observability counters folded into the same dense index space as the
+	// rest of the per-place engine state. Place.Stalls reads it back.
+	stalls []uint64
+
 	// Observability attachments (see obsv.go); nil unless enabled.
 	tracer     *obsv.Tracer
 	prof       *obsv.StallProfile
@@ -331,6 +359,7 @@ func (n *Net) Place(name string, stage *Stage) *Place {
 	}
 	p := &Place{Name: name, Stage: stage, Delay: 1, id: len(n.places), net: n}
 	n.places = append(n.places, p)
+	n.stalls = append(n.stalls, 0)
 	return p
 }
 

@@ -74,8 +74,8 @@ func TestSourceStallsOnFullStage(t *testing.T) {
 	if got := n.Sources()[0].Stalls; got != 4 {
 		t.Errorf("source stalled %d times, want 4", got)
 	}
-	if l1.Stalls != 4 {
-		t.Errorf("L1 recorded %d stalls, want 4", l1.Stalls)
+	if l1.Stalls() != 4 {
+		t.Errorf("L1 recorded %d stalls, want 4", l1.Stalls())
 	}
 	blocked = false
 	n.Step()

@@ -177,7 +177,9 @@ func (p *Place) promote() {
 		tok.staged = false
 	}
 	p.tokens = append(p.tokens, p.staged...)
+	p.meta = append(p.meta, p.stagedMeta...)
 	p.staged = p.staged[:0]
+	p.stagedMeta = p.stagedMeta[:0]
 }
 
 // process implements Fig. 7: for every ready instruction token in the place,
@@ -190,14 +192,22 @@ func (n *Net) process(p *Place) (keepActive bool) {
 	if p.End {
 		return false
 	}
+	now := n.cycle
 	for i := 0; i < len(p.tokens); {
-		tok := p.tokens[i]
-		if tok.movedAt == n.cycle || !tok.Ready(n.cycle) {
+		// Readiness and class come from the dense mirror: tokens still
+		// waiting out a residency delay are skipped, and the candidate list
+		// is looked up, without touching the Token struct at all (the
+		// struct-of-arrays fast path). A movedAt==now check is unnecessary:
+		// every just-moved token is delivered with readyAt ≥ now+1 or has
+		// retired out of the list, so the ready test already excludes it.
+		m := p.meta[i]
+		if m.ready > now {
 			i++
 			continue
 		}
+		cand := p.out[m.cls]
+		tok := p.tokens[i]
 		fired := false
-		cand := p.out[tok.Class]
 		if n.dynamicSearch {
 			cand = n.candidates(p, tok)
 		}
@@ -209,7 +219,7 @@ func (n *Net) process(p *Place) (keepActive bool) {
 			}
 		}
 		if !fired {
-			p.Stalls++
+			n.stalls[p.id]++
 			keepActive = true
 			i++
 		}
@@ -282,9 +292,12 @@ func (n *Net) fire(t *Transition, tok *Token, idx int) {
 	from := t.From
 	if last := len(from.tokens) - 1; idx < last {
 		copy(from.tokens[idx:], from.tokens[idx+1:])
+		copy(from.meta[idx:], from.meta[idx+1:])
 		from.tokens = from.tokens[:last]
-	} else {
-		from.tokens = from.tokens[:last] // common case: only/last token, no copy
+		from.meta = from.meta[:last]
+	} else { // common case: only/last token, no copy
+		from.tokens = from.tokens[:last]
+		from.meta = from.meta[:last]
 	}
 	from.Stage.occupancy--
 	tok.place = nil
@@ -351,12 +364,14 @@ func (n *Net) deliver(tok *Token, p *Place, transDelay int64) {
 	if p.TwoList {
 		tok.staged = true
 		p.staged = append(p.staged, tok)
+		p.stagedMeta = append(p.stagedMeta, tokMeta{tok.readyAt, tok.Class})
 		if !n.sweep && !p.inPromoteQ {
 			p.inPromoteQ = true
 			n.promoteQ = append(n.promoteQ, p)
 		}
 	} else {
 		p.tokens = append(p.tokens, tok)
+		p.meta = append(p.meta, tokMeta{tok.readyAt, tok.Class})
 	}
 	if !n.sweep && !p.End {
 		if tok.readyAt == n.cycle+1 {
@@ -434,23 +449,31 @@ func (n *Net) RemoveToken(tok *Token) bool {
 	if p == nil {
 		return false
 	}
-	lists := [][]*Token{p.tokens, p.staged}
-	for li, list := range lists {
-		for i, t := range list {
-			if t != tok {
-				continue
-			}
-			copy(list[i:], list[i+1:])
-			if li == 0 {
-				p.tokens = p.tokens[:len(p.tokens)-1]
-			} else {
-				p.staged = p.staged[:len(p.staged)-1]
-			}
-			p.Stage.occupancy--
-			tok.place = nil
-			tok.staged = false
-			return true
+	for i, t := range p.tokens {
+		if t != tok {
+			continue
 		}
+		copy(p.tokens[i:], p.tokens[i+1:])
+		copy(p.meta[i:], p.meta[i+1:])
+		p.tokens = p.tokens[:len(p.tokens)-1]
+		p.meta = p.meta[:len(p.meta)-1]
+		p.Stage.occupancy--
+		tok.place = nil
+		tok.staged = false
+		return true
+	}
+	for i, t := range p.staged {
+		if t != tok {
+			continue
+		}
+		copy(p.staged[i:], p.staged[i+1:])
+		copy(p.stagedMeta[i:], p.stagedMeta[i+1:])
+		p.staged = p.staged[:len(p.staged)-1]
+		p.stagedMeta = p.stagedMeta[:len(p.stagedMeta)-1]
+		p.Stage.occupancy--
+		tok.place = nil
+		tok.staged = false
+		return true
 	}
 	return false
 }
@@ -462,12 +485,16 @@ func (p *Place) DrainReservations() {
 	p.reservations = 0
 }
 
-// NewToken returns a fresh instruction token of the given class and payload.
+// NewToken returns a fresh instruction token of the given class and payload,
+// heap-allocated outside any arena. Hot paths should prefer a TokenArena or
+// TokenPool; NewToken remains for one-off tokens and external callers.
 func NewToken(class ClassID, data any) *Token {
-	return &Token{Class: class, Data: data, movedAt: -1, readyAt: -1, extState: -1}
+	return &Token{Class: class, Data: data, movedAt: -1, readyAt: -1, extState: -1, idx: -1}
 }
 
 // Recycle prepares a retired token for reuse by the simulator's token cache.
+// The arena slot index survives recycling — it is the token's identity in
+// the pool index space, not per-flight state.
 func (t *Token) Recycle(class ClassID, data any) {
 	t.Class = class
 	t.Data = data
@@ -476,22 +503,26 @@ func (t *Token) Recycle(class ClassID, data any) {
 	t.readyAt = -1
 	t.movedAt = -1
 	t.staged = false
+	t.pooled = false
 	t.seq = 0
 	t.extState = -1
 }
 
-// TokenPool is a free list of instruction tokens. Retire callbacks put
-// tokens back; sources get recycled ones out, so steady-state simulation
-// performs no token allocation at all. The zero value is ready to use.
-// Models that cache richer per-instruction state (like machine.Inst) keep
-// their own pools; TokenPool serves bare-token models — the engine
-// benchmarks, the examples and the CPN comparison harness.
+// TokenPool is a free list of instruction tokens backed by a TokenArena:
+// retire callbacks put tokens back, sources get recycled ones out, and a
+// free-list miss allocates from the arena's contiguous blocks — so
+// steady-state simulation performs no token allocation at all and the
+// in-flight set stays cache-dense. The zero value is ready to use. Models
+// that cache richer per-instruction state (like machine.Inst) keep their
+// own pools; TokenPool serves bare-token models — the engine benchmarks,
+// the examples and the CPN comparison harness.
 type TokenPool struct {
-	free []*Token
+	arena TokenArena
+	free  []*Token
 }
 
 // Get returns a token of the given class and payload, reusing a recycled
-// one when available.
+// one when available and arena-allocating otherwise.
 func (tp *TokenPool) Get(class ClassID, data any) *Token {
 	if k := len(tp.free); k > 0 {
 		t := tp.free[k-1]
@@ -499,15 +530,35 @@ func (tp *TokenPool) Get(class ClassID, data any) *Token {
 		t.Recycle(class, data)
 		return t
 	}
-	return NewToken(class, data)
+	return tp.arena.Get(class, data)
 }
 
 // Put recycles a token into the pool. The caller must no longer reference
 // it; the token's payload is cleared so pooled tokens do not pin data.
+// Putting the same token twice used to corrupt the free list silently (the
+// token would be handed out to two owners); now the duplicate is detected
+// through the pooled flag — race and rcpn_tokendebug builds panic at the
+// offending call site, release builds drop the duplicate and keep the free
+// list intact.
 func (tp *TokenPool) Put(t *Token) {
+	if t.pooled {
+		if poolDebug {
+			panic("core: TokenPool.Put called twice for the same token")
+		}
+		return
+	}
 	t.Data = nil
+	t.pooled = true
 	tp.free = append(tp.free, t)
 }
 
 // Len returns the number of pooled tokens (observability for tests).
 func (tp *TokenPool) Len() int { return len(tp.free) }
+
+// Reset bulk-frees the pool between jobs: the free list empties and the
+// arena reclaims every slot while keeping its blocks, so the next job
+// allocates nothing. Tokens obtained from this pool must no longer be live.
+func (tp *TokenPool) Reset() {
+	tp.free = tp.free[:0]
+	tp.arena.Reset()
+}

@@ -1,0 +1,8 @@
+//go:build race || rcpn_tokendebug
+
+package core
+
+// poolDebug arms the loud double-put diagnosis: race and rcpn_tokendebug
+// builds panic at the offending Put call site instead of dropping the
+// duplicate. The constant folds the check away entirely in release builds.
+const poolDebug = true

@@ -1,0 +1,7 @@
+//go:build !race && !rcpn_tokendebug
+
+package core
+
+// poolDebug is off in release builds: a double Put is dropped silently
+// (the free list stays intact) instead of panicking a serving process.
+const poolDebug = false

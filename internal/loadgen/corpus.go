@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"rcpn/internal/armgen"
+	"rcpn/internal/serve"
+)
+
+// CorpusConfig parameterizes the seeded job corpus. The zero value (plus a
+// seed) is a usable default mix.
+type CorpusConfig struct {
+	Seed uint64
+	// Programs is the number of distinct generated programs (default 16).
+	// Submissions cycle through them, so a run longer than the corpus
+	// exercises the server's content-addressed dedup and result cache.
+	Programs int
+	// Simulators is the engine mix to spread jobs over (default pipe5,
+	// strongarm, ssim, func — the fast-to-build subset of the registry).
+	Simulators []string
+	// Tenants is how many distinct X-Tenant identities submit (default 4).
+	Tenants int
+	// LowPriPct is the percent of submissions tagged X-Priority: low
+	// (default 30).
+	LowPriPct int
+	// MaxCycles is the job-size mix drawn from per submission (default
+	// 20k/100k/500k): mixed sizes make head-of-line blocking visible in the
+	// latency quantiles.
+	MaxCycles []int64
+	// Kernels, when non-empty, switches the corpus from generated programs
+	// to the named built-in kernels: specs reference kernel+scale workloads
+	// whose simulated work is orders of magnitude larger than a generated
+	// program's — what a throughput measurement wants, where the generated
+	// mix is what admission/dedup coverage wants. Programs then counts
+	// distinct (simulator, kernel, scale, size) draws.
+	Kernels []string
+	// Scales is the kernel workload scale mix (default 1/2/4); only used
+	// with Kernels.
+	Scales []int
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.Programs <= 0 {
+		c.Programs = 16
+	}
+	if len(c.Simulators) == 0 {
+		c.Simulators = []string{"pipe5", "strongarm", "ssim", "func"}
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.LowPriPct == 0 {
+		c.LowPriPct = 30
+	}
+	if len(c.MaxCycles) == 0 {
+		if len(c.Kernels) > 0 {
+			// Kernels terminate on their own and a run that trips its
+			// max_cycles cap counts as failed, so the kernel corpus varies
+			// job size through Scales and leaves the cap out of reach.
+			c.MaxCycles = []int64{1 << 30}
+		} else {
+			c.MaxCycles = []int64{20_000, 100_000, 500_000}
+		}
+	}
+	if len(c.Scales) == 0 {
+		c.Scales = []int{1, 2, 4}
+	}
+	return c
+}
+
+// Job is one prepared submission: the canonical spec bytes plus the request
+// headers that route it.
+type Job struct {
+	ID       string // content address of Body
+	Body     []byte // canonical JobSpec JSON
+	Tenant   string
+	Priority string // "" (high) or "low"
+}
+
+// BuildCorpus generates the seeded spec corpus: cfg.Programs distinct
+// armgen programs, each wrapped in a job spec with a simulator, size,
+// tenant and priority drawn from the mixes. Everything derives from
+// cfg.Seed, so the corpus is byte-identical across runs.
+func BuildCorpus(cfg CorpusConfig) ([]Job, error) {
+	cfg = cfg.withDefaults()
+	r := rng{s: cfg.Seed ^ 0xc0ffee}
+	jobs := make([]Job, 0, cfg.Programs)
+	for i := 0; i < cfg.Programs; i++ {
+		var spec serve.JobSpec
+		if len(cfg.Kernels) > 0 {
+			spec = serve.JobSpec{
+				Simulator: cfg.Simulators[r.intn(len(cfg.Simulators))],
+				Kernel:    cfg.Kernels[r.intn(len(cfg.Kernels))],
+				Scale:     cfg.Scales[r.intn(len(cfg.Scales))],
+				MaxCycles: cfg.MaxCycles[r.intn(len(cfg.MaxCycles))],
+			}
+		} else {
+			// Vary program length with the index so the corpus mixes short
+			// and long bodies; the seed offset keeps each program's stream
+			// distinct.
+			prog, err := armgen.Generate(armgen.Config{
+				Seed: cfg.Seed + uint64(i)*0x9e37,
+				Len:  16 + 8*(i%5),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: corpus program %d: %w", i, err)
+			}
+			spec = serve.JobSpec{
+				Simulator: cfg.Simulators[r.intn(len(cfg.Simulators))],
+				Source:    prog.Source,
+				Scale:     1,
+				MaxCycles: cfg.MaxCycles[r.intn(len(cfg.MaxCycles))],
+			}
+		}
+		if err := spec.Normalize(); err != nil {
+			return nil, fmt.Errorf("loadgen: corpus program %d spec: %w", i, err)
+		}
+		j := Job{
+			ID:     spec.ID(),
+			Body:   spec.Canonical(),
+			Tenant: fmt.Sprintf("tenant-%d", r.intn(cfg.Tenants)),
+		}
+		if r.intn(100) < cfg.LowPriPct {
+			j.Priority = "low"
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

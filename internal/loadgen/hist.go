@@ -1,0 +1,112 @@
+package loadgen
+
+import "math/bits"
+
+// Histogram is an HDR-style latency histogram: logarithmic octaves split
+// into 16 linear sub-buckets, so any recorded value is represented with at
+// most ~6% relative error while the whole structure is one fixed array —
+// no allocation per record, deterministic quantiles, trivially mergeable.
+// Values are non-negative integers (the runner records microseconds).
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	max    int64
+	sum    int64
+}
+
+// histSubBits gives 1<<histSubBits linear sub-buckets per octave.
+const histSubBits = 4
+
+// histBuckets is the fixed bucket count: 960 buckets exactly cover the
+// non-negative int64 range (MaxInt64 has bit length 63, so the largest
+// index is 58<<4 + 31 = 959) — the clamp in histBucket is pure defense.
+const histBuckets = 960
+
+// histBucket maps a value to its bucket index: values below 32 map
+// exactly, above that each octave [2^k, 2^(k+1)) splits into 16 linear
+// sub-buckets. With shift = max(0, bitlen(v)-5) the mapping collapses to
+// 16*shift + v>>shift.
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	shift := bits.Len64(uint64(v)) - (histSubBits + 1)
+	if shift < 0 {
+		shift = 0
+	}
+	i := shift<<histSubBits + int(v>>shift)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histValue returns the representative (upper-edge) value of a bucket, the
+// inverse of histBucket up to the bucket's width.
+func histValue(i int) int64 {
+	shift := i>>histSubBits - 1
+	if shift < 1 {
+		// Exact region plus the first octave: buckets are unit-width.
+		return int64(i)
+	}
+	base := int64(i-shift<<histSubBits) << shift
+	return base + 1<<shift - 1
+}
+
+// Record adds one value.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at or below which a fraction q of recorded
+// values fall, up to bucket resolution. q is clamped to [0, 1]; an empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			v := histValue(i)
+			if v > h.max {
+				return h.max // never report beyond the true maximum
+			}
+			return v
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,82 @@
+// Package loadgen is the open-loop load generator behind cmd/rcpnload: it
+// drives a live rcpnserve instance to saturation and reports what the
+// service actually delivered — offered vs achieved throughput, completion
+// latency quantiles, backpressure (429) and drain (503) counts, and the
+// aggregate simulated Mcycles/s the fleet of jobs extracted from the
+// server.
+//
+// Open-loop means arrivals follow a fixed stochastic schedule that does not
+// slow down when the server does: a saturated server faces the same offered
+// rate and must shed load through its admission machinery (bounded queue,
+// per-tenant quotas), which is exactly the behavior under test. The
+// schedule, the job corpus and every mutation decision derive from one
+// 64-bit seed through splitmix64, so two runs with the same seed submit the
+// same bytes in the same order at the same offsets.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Arrival selects the inter-arrival process of the open-loop schedule.
+type Arrival string
+
+const (
+	// ArrivalExponential draws i.i.d. exponential gaps (a Poisson arrival
+	// process): the memoryless worst case for queue depth spikes.
+	ArrivalExponential Arrival = "exponential"
+	// ArrivalUniform draws gaps uniformly from [0.5, 1.5) of the mean gap:
+	// a jittered steady stream, gentler on the queue at the same rate.
+	ArrivalUniform Arrival = "uniform"
+)
+
+// rng is splitmix64, the same deterministic generator armgen uses.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float64 returns a uniform draw in (0, 1]: never zero, so -ln of it is
+// always finite.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11+1) / float64(1<<53)
+}
+
+// Schedule returns the n arrival offsets (from the run's start, ascending)
+// of the given process at the given mean rate. The same (kind, rate, n,
+// seed) always produce the same offsets.
+func Schedule(kind Arrival, rate float64, n int, seed uint64) ([]time.Duration, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be > 0, got %g", rate)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("loadgen: negative schedule length %d", n)
+	}
+	r := rng{s: seed}
+	mean := 1 / rate // seconds between arrivals
+	offsets := make([]time.Duration, n)
+	var at float64
+	for i := range offsets {
+		var gap float64
+		switch kind {
+		case ArrivalExponential:
+			gap = -math.Log(r.float64()) * mean
+		case ArrivalUniform:
+			gap = (0.5 + r.float64()) * mean
+		default:
+			return nil, fmt.Errorf("loadgen: unknown arrival process %q", kind)
+		}
+		at += gap
+		offsets[i] = time.Duration(at * float64(time.Second))
+	}
+	return offsets, nil
+}

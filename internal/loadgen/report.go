@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Schema identifies the report format.
+const Schema = "rcpn-load/v1"
+
+// Quantiles are completion-latency milestones in milliseconds, bucketed at
+// the histogram's ~6% resolution.
+type Quantiles struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Report is the rcpn-load/v1 result of one load run. Counters partition
+// the submissions exactly: Accepted + Rejected429 + Rejected503 +
+// TransportErrors == Submitted, and Done + Failed + Incomplete == Accepted
+// (Incomplete covers jobs still unfinished when the run's wait deadline
+// expired). Given the same seed and schedule against the same stub clock,
+// the report bytes are identical run to run.
+type Report struct {
+	Schema  string `json:"schema"`
+	Seed    uint64 `json:"seed"`
+	Arrival string `json:"arrival"`
+
+	// Offered vs achieved throughput, jobs/sec. Offered is the configured
+	// arrival rate; achieved counts jobs that reached a terminal state
+	// divided by the wall time of the whole run (submission through last
+	// completion).
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+
+	Submitted       int64 `json:"submitted"`
+	Accepted        int64 `json:"accepted"`
+	Cached          int64 `json:"cached"`    // answered from the result cache
+	Coalesced       int64 `json:"coalesced"` // joined an in-flight duplicate
+	Rejected429     int64 `json:"rejected_429"`
+	Rejected503     int64 `json:"rejected_503"`
+	TransportErrors int64 `json:"transport_errors"`
+
+	Done       int64 `json:"done"`
+	Failed     int64 `json:"failed"`
+	Incomplete int64 `json:"incomplete"`
+
+	// Latency is submission-to-terminal-state; SubmitLatency is the POST
+	// round trip alone (admission latency, including shed requests).
+	Latency       Quantiles `json:"latency"`
+	SubmitLatency Quantiles `json:"submit_latency"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimCycles and MCyclesPerSec aggregate the simulated work the server
+	// completed for this run's jobs: total cycles across done jobs, and
+	// that total divided by wall time — the Mcycles/s-under-load number.
+	SimCycles     int64   `json:"sim_cycles"`
+	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+}
+
+// quantiles renders a histogram of microsecond samples as milliseconds.
+func quantiles(h *Histogram) Quantiles {
+	ms := func(us int64) float64 { return float64(us) / 1000 }
+	return Quantiles{
+		P50:  ms(h.Quantile(0.50)),
+		P90:  ms(h.Quantile(0.90)),
+		P95:  ms(h.Quantile(0.95)),
+		P99:  ms(h.Quantile(0.99)),
+		Max:  ms(h.Max()),
+		Mean: h.Mean() / 1000,
+	}
+}
+
+// JSON renders the canonical report bytes (indented, fixed field order).
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	return append(b, '\n')
+}
+
+// ParseReport decodes and validates rcpn-load/v1 bytes.
+func ParseReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: bad report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the report's internal consistency: the schema tag and
+// the counter partition invariants.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("loadgen: schema %q, want %q", r.Schema, Schema)
+	}
+	if got := r.Accepted + r.Rejected429 + r.Rejected503 + r.TransportErrors; got != r.Submitted {
+		return fmt.Errorf("loadgen: accepted %d + rejected %d/%d + errors %d != submitted %d",
+			r.Accepted, r.Rejected429, r.Rejected503, r.TransportErrors, r.Submitted)
+	}
+	if got := r.Done + r.Failed + r.Incomplete; got != r.Accepted {
+		return fmt.Errorf("loadgen: done %d + failed %d + incomplete %d != accepted %d",
+			r.Done, r.Failed, r.Incomplete, r.Accepted)
+	}
+	for _, c := range []int64{r.Submitted, r.Rejected429, r.Rejected503, r.TransportErrors, r.Done, r.Failed, r.Incomplete, r.SimCycles} {
+		if c < 0 {
+			return fmt.Errorf("loadgen: negative counter in report")
+		}
+	}
+	return nil
+}

@@ -87,7 +87,7 @@ func goldenTrace(t *testing.T, build func(p *arm.Program, cfg Config) *Machine, 
 		fmt.Fprintf(&b, "fires %s=%d\n", tr.Name, tr.Fires)
 	}
 	for _, pl := range m.Net.Places() {
-		fmt.Fprintf(&b, "stalls %s=%d\n", pl.Name, pl.Stalls)
+		fmt.Fprintf(&b, "stalls %s=%d\n", pl.Name, pl.Stalls())
 	}
 
 	compareGolden(t, filepath.Join("testdata", file), b.String())

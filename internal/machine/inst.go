@@ -77,7 +77,7 @@ func (in *Inst) resetDynamic() {
 func (m *Machine) newInst(addr uint32) *Inst {
 	raw := m.Mem.Read32(addr)
 	in := &Inst{m: m, I: arm.Decode(raw, addr), inUse: true}
-	in.Tok = core.NewToken(core.ClassID(in.I.Class), in)
+	in.Tok = m.tokens.Get(core.ClassID(in.I.Class), in)
 	i := &in.I
 
 	// A register operand; reads of r15 are the statically known addr+8.

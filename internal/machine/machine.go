@@ -86,6 +86,10 @@ type Machine struct {
 	// functional marks a model running in extracted-functional mode
 	// (NewFunctional): program-order execution with no net or timing.
 	functional bool
+	// tokens arena-allocates every Inst token out of contiguous blocks, so
+	// the in-flight window's scheduling state shares cache lines instead of
+	// being pointer-chased across the heap.
+	tokens core.TokenArena
 	// pool holds per-PC freelists of decoded instruction instances: a
 	// direct-mapped array over the program's text range (fast path) with a
 	// map fallback for addresses outside it.
@@ -275,6 +279,12 @@ func (m *Machine) retire(tok *core.Token) {
 func (m *Machine) recycle(in *Inst) {
 	in.inUse = false
 	if m.cfg.NoTokenCache {
+		// The instance is dropped, so return its arena slot — otherwise a
+		// long uncached run would grow the token arena without bound.
+		if in.Tok != nil {
+			m.tokens.Put(in.Tok)
+			in.Tok = nil
+		}
 		return
 	}
 	if i := (in.I.Addr - m.poolBase) / 4; uint64(i) < uint64(len(m.pool)) {

@@ -90,8 +90,8 @@ func (m *Machine) UtilizationReport() string {
 		fmt.Fprintf(&b, "%-28s%12d%11.1f%%\n", t.Name, t.Fires, 100*util)
 	}
 	for _, p := range m.Net.Places() {
-		if p.Stalls > 0 {
-			fmt.Fprintf(&b, "stalled token-cycles at %-4s%12d\n", p.Name, p.Stalls)
+		if p.Stalls() > 0 {
+			fmt.Fprintf(&b, "stalled token-cycles at %-4s%12d\n", p.Name, p.Stalls())
 		}
 	}
 	return b.String()

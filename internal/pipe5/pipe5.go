@@ -75,12 +75,15 @@ type Sim struct {
 
 	pending [16]int // scoreboard: outstanding writers per register
 
-	// slotPool recycles retired/flushed latch entries; idSrcs and idDests are
-	// the ID stage's scratch lists. Both keep steady-state simulation free of
-	// per-instruction allocation.
-	slotPool []*slot
-	idSrcs   []srcRef
-	idDests  []arm.Reg
+	// slotPool recycles retired/flushed latch entries; slotBlock backs pool
+	// misses with one contiguous array so the handful of live slots share
+	// cache lines. idSrcs and idDests are the ID stage's scratch lists. All
+	// keep steady-state simulation free of per-instruction allocation.
+	slotPool  []*slot
+	slotBlock []slot
+	slotNext  int
+	idSrcs    []srcRef
+	idDests   []arm.Reg
 
 	Cycles   int64
 	Instret  uint64
@@ -196,7 +199,9 @@ func (s *Sim) stageWB() {
 }
 
 // newSlot returns a zeroed latch entry, reusing a retired one when available
-// (keeping any lsmAddr capacity) so steady-state fetch allocates nothing.
+// (keeping any lsmAddr capacity) so steady-state fetch allocates nothing. A
+// pool miss carves the next slot out of one contiguous block: a five-stage
+// pipe holds at most a handful of live slots, so they all share it.
 func (s *Sim) newSlot() *slot {
 	if k := len(s.slotPool); k > 0 {
 		sl := s.slotPool[k-1]
@@ -206,7 +211,14 @@ func (s *Sim) newSlot() *slot {
 		sl.lsmAddr = la
 		return sl
 	}
-	return &slot{}
+	if s.slotNext == len(s.slotBlock) {
+		// 16 slots: the 4 latches plus flush/retire churn, never more.
+		s.slotBlock = make([]slot, 16)
+		s.slotNext = 0
+	}
+	sl := &s.slotBlock[s.slotNext]
+	s.slotNext++
+	return sl
 }
 
 func (s *Sim) freeSlot(sl *slot) {

@@ -46,11 +46,17 @@ func (q *quotas) allow(tenant string, now time.Time) (ok bool, wait time.Duratio
 		bk = &bucket{tokens: q.burst, last: now}
 		q.b[tenant] = bk
 	} else {
-		bk.tokens += now.Sub(bk.last).Seconds() * q.rate
-		if bk.tokens > q.burst {
-			bk.tokens = q.burst
+		// Clamp negative elapsed time: a clock step backwards (NTP slew,
+		// VM migration) must not drain the bucket — it would charge the
+		// tenant for time that never passed. The bucket simply earns
+		// nothing until the clock passes its last stamp again.
+		if elapsed := now.Sub(bk.last).Seconds(); elapsed > 0 {
+			bk.tokens += elapsed * q.rate
+			if bk.tokens > q.burst {
+				bk.tokens = q.burst
+			}
+			bk.last = now
 		}
-		bk.last = now
 	}
 	if bk.tokens >= 1 {
 		bk.tokens--
@@ -64,7 +70,11 @@ func (q *quotas) allow(tenant string, now time.Time) (ok bool, wait time.Duratio
 // they are exactly the state the limiter exists to hold.
 func (q *quotas) prune(now time.Time) {
 	for t, bk := range q.b {
-		if bk.tokens+now.Sub(bk.last).Seconds()*q.rate >= q.burst {
+		elapsed := now.Sub(bk.last).Seconds()
+		if elapsed < 0 {
+			elapsed = 0 // same clock-skew clamp as allow
+		}
+		if bk.tokens+elapsed*q.rate >= q.burst {
 			delete(q.b, t)
 		}
 	}

@@ -139,11 +139,13 @@ type Sim struct {
 	// Free lists and scratch buffers. They change no modeled behavior —
 	// sim-outorder's per-instruction record and event churn stays, only the
 	// Go allocator is taken off the hot path.
-	entryPool  []*ruuEntry
-	eventPool  *event
-	inScratch  []int
-	outScratch []int
-	lsmScratch []uint32
+	entryPool   []*ruuEntry
+	entryBlocks [][]ruuEntry // arena backing: entries allocate from contiguous blocks
+	entryNext   int          // high-water mark into entryBlocks
+	eventPool   *event
+	inScratch   []int
+	outScratch  []int
+	lsmScratch  []uint32
 
 	// Observability attachments (obsv.go); nil unless enabled.
 	prof *obsv.StallProfile
@@ -162,8 +164,14 @@ type event struct {
 	next  *event
 }
 
+// entryBlockSize sizes the RUU-record arena blocks: comfortably above the
+// RUU window plus in-flight wrong-path entries, so a run settles into one
+// or two blocks and every live record shares a short run of cache lines.
+const entryBlockSize = 256
+
 // newEntry returns a zeroed RUU record, reusing a retired one when possible
-// (keeping its consumers capacity).
+// (keeping its consumers capacity) and otherwise carving the next slot out
+// of the arena's contiguous blocks.
 func (s *Sim) newEntry() *ruuEntry {
 	if k := len(s.entryPool); k > 0 {
 		e := s.entryPool[k-1]
@@ -173,7 +181,12 @@ func (s *Sim) newEntry() *ruuEntry {
 		e.consumers = cons
 		return e
 	}
-	return &ruuEntry{}
+	if s.entryNext == len(s.entryBlocks)*entryBlockSize {
+		s.entryBlocks = append(s.entryBlocks, make([]ruuEntry, entryBlockSize))
+	}
+	e := &s.entryBlocks[s.entryNext/entryBlockSize][s.entryNext%entryBlockSize]
+	s.entryNext++
+	return e
 }
 
 // freeEntry recycles an RUU record. Callers must guarantee no event or
